@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4).  The problem sizes default to the scaled-down ``small``
+configurations so the whole harness runs in a few minutes with the pure-Python
+reference solver; set the environment variable ``REPRO_BENCH_SCALE`` to
+``medium`` (or ``paper``, if you have hours to spare) to enlarge them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import (  # noqa: E402
+    ConvergenceConfig,
+    Scenario1Config,
+    Scenario2Config,
+)
+from repro.materials.library import MaterialLibrary  # noqa: E402
+
+
+def _scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if scale not in ("small", "medium", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'small', 'medium' or 'paper', got {scale!r}"
+        )
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The selected benchmark scale (``small`` by default)."""
+    return _scale()
+
+
+@pytest.fixture(scope="session")
+def materials() -> MaterialLibrary:
+    """Default material library shared by all benchmarks."""
+    return MaterialLibrary.default()
+
+
+@pytest.fixture(scope="session")
+def scenario1_config(bench_scale) -> Scenario1Config:
+    """Configuration of the Table-1 benchmark."""
+    if bench_scale == "paper":
+        return Scenario1Config.paper()
+    if bench_scale == "medium":
+        return Scenario1Config.medium()
+    return Scenario1Config.small()
+
+
+@pytest.fixture(scope="session")
+def scenario2_config(bench_scale) -> Scenario2Config:
+    """Configuration of the Table-2 benchmark."""
+    if bench_scale == "paper":
+        return Scenario2Config.paper()
+    return Scenario2Config.small()
+
+
+@pytest.fixture(scope="session")
+def convergence_config(bench_scale) -> ConvergenceConfig:
+    """Configuration of the Table-3 / Fig.-6 benchmark."""
+    if bench_scale == "paper":
+        return ConvergenceConfig.paper()
+    if bench_scale == "medium":
+        return ConvergenceConfig(array_size=4)
+    return ConvergenceConfig.small()

@@ -1,0 +1,117 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+The paper motivates two design choices that are not swept in its tables:
+
+* **Dummy padding width** (§4.4): rings of TSV-less unit blocks keep the
+  sub-model cut boundary away from the TSV array.  The ablation shows the
+  error of the embedded-array solve as the ring width grows from 0 (cut
+  boundary touching the array — the configuration sub-modeling practice
+  forbids) to 2 (the paper's choice).
+* **Unit-block mesh fidelity**: the one-shot local stage cost grows with the
+  fine-mesh resolution while the global-stage cost does not (the reduced
+  basis size is fixed by the interpolation scheme).  The ablation records
+  local/global runtimes across mesh presets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import normalized_mae
+from repro.baselines.coarse_model import CoarseChipletModel
+from repro.baselines.full_fem import FullFEMReference
+from repro.geometry.package import ChipletPackage
+from repro.geometry.tsv import TSVGeometry
+from repro.rom.submodeling import SubModelingDriver
+from repro.rom.workflow import MoreStressSimulator
+
+DELTA_T = -250.0
+
+
+class TestDummyRingAblation:
+    def test_submodel_error_vs_ring_width(self, benchmark, materials):
+        """Error of the embedded 2x2 array as the dummy padding grows."""
+        tsv = TSVGeometry.paper_default(pitch=15.0)
+        package = ChipletPackage()
+        coarse = CoarseChipletModel(package, materials, inplane_cells=14).solve(DELTA_T)
+        reference = FullFEMReference(materials, resolution="tiny")
+
+        def run_ablation():
+            errors = {}
+            for ring_width in (0, 1, 2):
+                simulator = MoreStressSimulator(
+                    tsv, materials, mesh_resolution="tiny", nodes_per_axis=(4, 4, 4)
+                )
+                driver = SubModelingDriver(
+                    simulator=simulator,
+                    package=package,
+                    coarse_solution=coarse,
+                    dummy_ring_width=ring_width,
+                )
+                location = driver.location("loc3", rows=2, cols=2)
+                layout = driver.padded_layout(2, 2, location)
+                reference_solution = reference.solve_array(
+                    layout,
+                    DELTA_T,
+                    boundary="submodel",
+                    displacement_field=coarse.displacement_field(),
+                )
+                result = driver.simulate(rows=2, cols=2, location=location)
+                errors[ring_width] = normalized_mae(
+                    result.von_mises_midplane(points_per_block=10),
+                    reference_solution.von_mises_midplane(points_per_block=10),
+                )
+            return errors
+
+        errors = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+        for ring_width, error in errors.items():
+            benchmark.extra_info[f"ring_{ring_width}_error_%"] = round(100 * error, 3)
+        # The ROM matches its own fine-FEM counterpart closely at every width;
+        # the benefit of padding is that the *physical* answer near the TSVs
+        # becomes insensitive to the coarse-solution error on the cut
+        # boundary, so we require the padded configurations to stay at least
+        # as accurate as the unpadded one.
+        assert errors[1] <= errors[0] * 1.5
+        assert errors[2] <= errors[0] * 1.5
+        assert all(error < 0.03 for error in errors.values())
+
+
+class TestMeshResolutionAblation:
+    @pytest.mark.parametrize("preset", ["tiny", "coarse", "medium"])
+    def test_local_stage_cost_vs_mesh_resolution(self, benchmark, materials, preset):
+        """Local-stage cost grows with mesh fidelity; the ROM size does not."""
+        tsv = TSVGeometry.paper_default(pitch=15.0)
+
+        def build():
+            simulator = MoreStressSimulator(
+                tsv, materials, mesh_resolution=preset, nodes_per_axis=(4, 4, 4)
+            )
+            simulator.build_roms()
+            return simulator
+
+        simulator = benchmark.pedantic(build, rounds=1, iterations=1)
+        rom = simulator.build_roms()[next(iter(simulator.build_roms()))]
+        benchmark.extra_info["fine_dofs"] = rom.num_fine_dofs
+        benchmark.extra_info["reduced_dofs_n"] = rom.num_element_dofs
+        benchmark.extra_info["reduction_factor"] = round(rom.reduction_factor, 1)
+        # The reduced model size is independent of the mesh resolution.
+        assert rom.num_element_dofs == 168
+
+    def test_global_stage_cost_independent_of_mesh_resolution(self, benchmark, materials):
+        """The global stage depends on the ROM size, not on the fine mesh."""
+        tsv = TSVGeometry.paper_default(pitch=15.0)
+        timings = {}
+        for preset in ("tiny", "coarse"):
+            simulator = MoreStressSimulator(
+                tsv, materials, mesh_resolution=preset, nodes_per_axis=(4, 4, 4)
+            )
+            simulator.build_roms()
+            result = simulator.simulate_array(rows=3, delta_t=DELTA_T)
+            timings[preset] = result.global_stage_seconds
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        for preset, seconds in timings.items():
+            benchmark.extra_info[f"global_stage_{preset}_s"] = round(seconds, 4)
+        # Same reduced problem size -> the global-stage time should be of the
+        # same order regardless of the underlying fine mesh (reconstruction
+        # excluded).  Allow a generous factor for noise.
+        assert timings["coarse"] < 5.0 * timings["tiny"]

@@ -1,0 +1,87 @@
+"""Benchmark companion to paper Figure 5: the two evaluation scenarios.
+
+Fig. 5 is a schematic of the two experimental setups rather than a measured
+result: (a) standalone TSV arrays of increasing size with clamped top/bottom
+surfaces, and (b) a TSV array embedded at five locations of a chiplet.  This
+module regenerates the *scenario definitions* (geometry inventory, block
+counts, sub-model placements) and benchmarks the cheap set-up work (layout
+construction, coarse package meshing), so the figure's content is verifiable
+even though it carries no numbers in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.coarse_model import CoarseChipletModel
+from repro.geometry.array_layout import TSVArrayLayout
+from repro.geometry.package import ChipletPackage
+from repro.geometry.tsv import TSVGeometry
+
+
+class TestFig5aStandaloneArrays:
+    def test_scenario1_geometry_inventory(self, benchmark, scenario1_config):
+        """Build every standalone-array layout of scenario 1 (Fig. 5a)."""
+
+        def build_layouts():
+            layouts = {}
+            for pitch in scenario1_config.pitches:
+                tsv = TSVGeometry.paper_default(pitch=pitch)
+                for size in scenario1_config.array_sizes:
+                    layouts[(pitch, size)] = TSVArrayLayout.full(tsv, rows=size)
+            return layouts
+
+        layouts = benchmark(build_layouts)
+        for (pitch, size), layout in layouts.items():
+            assert layout.num_tsv_blocks == size * size
+            extent_x, extent_y, extent_z = layout.extent
+            assert extent_x == pytest.approx(size * pitch)
+            assert extent_z == pytest.approx(50.0)
+            benchmark.extra_info[f"p{pitch:g}_{size}x{size}"] = {
+                "tsv_count": layout.num_tsv_blocks,
+                "extent_um": [round(extent_x, 1), round(extent_y, 1), round(extent_z, 1)],
+            }
+
+
+class TestFig5bChipletScenario:
+    def test_scenario2_package_and_locations(self, benchmark, scenario2_config, materials):
+        """Build the chiplet stack, its coarse mesh and the five sub-model placements."""
+        package = ChipletPackage.scaled_default(scenario2_config.package_scale)
+        tsv = TSVGeometry.paper_default(pitch=scenario2_config.pitches[0])
+        layout = TSVArrayLayout.with_dummy_ring(
+            tsv,
+            rows=scenario2_config.array_rows,
+            cols=scenario2_config.array_cols,
+            ring_width=scenario2_config.dummy_ring_width,
+        )
+
+        def build():
+            mesh = CoarseChipletModel(
+                package, materials, inplane_cells=scenario2_config.coarse_inplane_cells
+            ).build_mesh()
+            locations = package.paper_locations(layout)
+            return mesh, locations
+
+        mesh, locations = benchmark(build)
+
+        # The stack has the structure of Fig. 1 / Fig. 5b: substrate,
+        # underfill, interposer (where the TSVs live) and die.
+        assert [layer.name for layer in package.layers()] == [
+            "substrate",
+            "underfill",
+            "interposer",
+            "die",
+        ]
+        assert len(locations) == 5
+        names = [loc.name for loc in locations]
+        assert names == ["loc1", "loc2", "loc3", "loc4", "loc5"]
+        half_interposer = 0.5 * package.interposer_size
+        for loc in locations:
+            assert abs(loc.origin[0]) <= half_interposer
+            assert abs(loc.origin[1]) <= half_interposer
+            benchmark.extra_info[loc.name] = {
+                "description": loc.description,
+                "origin_um": [round(v, 1) for v in loc.origin],
+            }
+        benchmark.extra_info["coarse_mesh_dofs"] = mesh.num_dofs
+        benchmark.extra_info["padded_layout_blocks"] = layout.shape

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Convergence of MORE-Stress with the number of interpolation nodes (Table 3 / Fig. 6).
+
+Sweeps the Lagrange interpolation node counts from (2,2,2) to (6,6,6) on a
+fixed standalone array, reporting the number of element DoFs ``n`` (paper
+Eq. 16), the one-shot local stage runtime, the global stage runtime and the
+normalized MAE against the reference full FEM.  An ASCII rendition of Fig. 6
+(error and runtime versus ``n``) is printed at the end.
+
+Run with:  python examples/convergence_study.py
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ConvergenceConfig, convergence_table, run_convergence_study
+from repro.utils.logging import enable_console_logging
+
+
+def _ascii_curve(points: list[tuple[int, float]], width: int = 50, label: str = "") -> str:
+    """Render (x, y) points as a crude log-scale ASCII bar chart."""
+    import math
+
+    lines = [label]
+    max_y = max(y for _, y in points)
+    min_y = min(y for _, y in points if y > 0)
+    for x, y in points:
+        if y <= 0:
+            bar = 0
+        else:
+            bar = int(
+                width * (math.log10(y) - math.log10(min_y) + 0.05)
+                / max(math.log10(max_y) - math.log10(min_y) + 0.05, 1e-12)
+            )
+        lines.append(f"  n={x:4d} | {'#' * max(bar, 1)} {y:.3g}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--array-size", type=int, default=3, help="array rows/cols")
+    parser.add_argument("--pitch", type=float, default=15.0, help="TSV pitch in um")
+    args = parser.parse_args()
+    enable_console_logging()
+
+    config = ConvergenceConfig(array_size=args.array_size, pitch=args.pitch)
+    records, reference_seconds = run_convergence_study(config)
+
+    print()
+    print(convergence_table(records, reference_seconds).to_text())
+    print()
+    print(
+        _ascii_curve(
+            [(r.num_element_dofs, 100 * r.error) for r in records],
+            label="Fig. 6 (top): error [%] vs element DoFs n (log scale)",
+        )
+    )
+    print()
+    print(
+        _ascii_curve(
+            [(r.num_element_dofs, r.global_stage_seconds) for r in records],
+            label="Fig. 6 (bottom): global-stage runtime [s] vs element DoFs n (log scale)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Reusing a persisted reduced order model across processes.
+
+The one-shot local stage of MORE-Stress only depends on the TSV technology
+(materials + geometry), not on the array being analysed.  This example builds
+the ROM once, saves it to disk, reloads it in a fresh simulator (as a separate
+sign-off flow would) and sweeps thermal loads and array sizes with nothing but
+cheap global-stage solves — the workflow the paper's "one-shot" terminology is
+about.
+
+Run with:  python examples/rom_reuse_and_persistence.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import MaterialLibrary, MoreStressSimulator, TSVGeometry
+from repro.utils.logging import enable_console_logging
+
+
+def main() -> None:
+    enable_console_logging()
+    tsv = TSVGeometry.paper_default(pitch=10.0)
+    materials = MaterialLibrary.default()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        rom_dir = Path(tmp) / "tsv_p10_rom"
+
+        # --- build & persist (e.g. run once per technology node) -----------
+        builder = MoreStressSimulator(tsv, materials, mesh_resolution="coarse")
+        start = time.perf_counter()
+        builder.build_roms(include_dummy=True)
+        build_seconds = time.perf_counter() - start
+        paths = builder.save_roms(rom_dir)
+        print(f"local stage: {build_seconds:.2f} s, ROM files: {sorted(p.name for p in paths.values())}")
+
+        # --- reload in a fresh simulator (e.g. a different analysis run) ---
+        consumer = MoreStressSimulator(tsv, materials, mesh_resolution="coarse")
+        consumer.load_roms(rom_dir)
+
+        for rows, delta_t in [(3, -250.0), (5, -250.0), (5, -125.0), (8, -250.0)]:
+            result = consumer.simulate_array(rows=rows, delta_t=delta_t)
+            vm_max = result.von_mises_midplane(points_per_block=20).max()
+            print(
+                f"  {rows}x{rows} array, delta_t={delta_t:6.1f} degC: "
+                f"global stage {result.global_stage_seconds:.3f} s, "
+                f"max von Mises {vm_max:7.1f} MPa"
+            )
+
+        # Stress scales linearly with the thermal load (Eq. 1): halving
+        # delta_t halves the stress, which the two 5x5 runs above demonstrate.
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, which
+breaks PEP 517 editable installs.  Keeping a classic ``setup.py`` allows
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on fully provisioned machines) to work everywhere.
+"""
+
+from setuptools import setup
+
+setup()

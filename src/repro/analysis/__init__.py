@@ -1,0 +1,13 @@
+"""Error metrics and result reporting."""
+
+from repro.analysis.metrics import normalized_mae, error_map, relative_max_error
+from repro.analysis.reporting import ResultTable, format_seconds, format_bytes
+
+__all__ = [
+    "normalized_mae",
+    "error_map",
+    "relative_max_error",
+    "ResultTable",
+    "format_seconds",
+    "format_bytes",
+]

@@ -1,0 +1,73 @@
+"""Accuracy metrics.
+
+The paper's error metric (§5.2) is the mean absolute error between a method's
+gridded mid-plane von Mises stress and the ground truth, normalized by the
+maximum ground-truth von Mises stress (because stress is proportional to the
+thermal load, the normalized number is load-independent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError
+
+
+def _as_matching_arrays(predicted: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    predicted = np.asarray(predicted, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if predicted.shape != reference.shape:
+        raise ValidationError(
+            f"prediction shape {predicted.shape} does not match "
+            f"reference shape {reference.shape}"
+        )
+    if predicted.size == 0:
+        raise ValidationError("cannot compute an error over empty arrays")
+    return predicted, reference
+
+
+def normalized_mae(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute error normalized by the maximum reference value (paper §5.2).
+
+    Parameters
+    ----------
+    predicted, reference:
+        Arrays of identical shape (typically the gridded mid-plane von Mises
+        stress of a method and of the ground-truth solver).
+
+    Returns
+    -------
+    float
+        ``mean(|predicted - reference|) / max(|reference|)``.
+    """
+    predicted, reference = _as_matching_arrays(predicted, reference)
+    scale = float(np.max(np.abs(reference)))
+    if scale == 0.0:
+        raise ValidationError("reference field is identically zero; MAE undefined")
+    return float(np.mean(np.abs(predicted - reference)) / scale)
+
+
+def relative_max_error(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Maximum absolute error normalized by the maximum reference value."""
+    predicted, reference = _as_matching_arrays(predicted, reference)
+    scale = float(np.max(np.abs(reference)))
+    if scale == 0.0:
+        raise ValidationError("reference field is identically zero; error undefined")
+    return float(np.max(np.abs(predicted - reference)) / scale)
+
+
+def error_map(predicted: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Point-wise absolute error normalized by the maximum reference value.
+
+    Useful for inspecting *where* a method's error concentrates: the paper
+    notes that MORE-Stress errors concentrate near the array boundary while
+    superposition errors spread over the whole domain.
+    """
+    predicted, reference = _as_matching_arrays(predicted, reference)
+    scale = float(np.max(np.abs(reference)))
+    if scale == 0.0:
+        raise ValidationError("reference field is identically zero; error undefined")
+    return np.abs(predicted - reference) / scale
+
+
+__all__ = ["normalized_mae", "relative_max_error", "error_map"]

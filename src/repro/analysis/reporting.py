@@ -1,0 +1,100 @@
+"""Plain-text result tables in the spirit of the paper's Tables 1-3.
+
+The experiment drivers collect per-case records (method, runtime, memory,
+error) and format them as aligned text tables, so benchmark output can be
+compared against the paper's tables side by side and archived in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration (ms below one second, s above)."""
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f} ms"
+    return f"{seconds:.2f} s"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-friendly memory size."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    return f"{value:.2f} GiB"
+
+
+@dataclass
+class ResultTable:
+    """A simple column-oriented results table.
+
+    Example
+    -------
+    >>> table = ResultTable(columns=["case", "time", "error"])
+    >>> table.add_row(case="10x10", time="2.5 s", error="0.93%")
+    >>> print(table.to_text())  # doctest: +SKIP
+    """
+
+    columns: list[str]
+    title: str = ""
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; missing columns render as empty cells."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; table has {self.columns}")
+        self.rows.append(dict(values))
+
+    def add_rows(self, rows: Iterable[dict[str, Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(**row)
+
+    def column(self, name: str) -> list[Any]:
+        """Return the values of one column (missing cells become ``None``)."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the table as aligned plain text."""
+        cells = [[str(row.get(col, "")) for col in self.columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(row[idx]) for row in cells)) if cells else len(col)
+            for idx, col in enumerate(self.columns)
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(col.ljust(width) for col, width in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join([" --- "] * len(self.columns)) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(str(row.get(col, "")) for col in self.columns) + " |"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+__all__ = ["ResultTable", "format_seconds", "format_bytes"]

@@ -1,0 +1,24 @@
+"""Baseline solvers: reference full FEM, linear superposition, coarse chiplet model."""
+
+from repro.baselines.full_fem import FullFEMReference, ReferenceSolution
+from repro.baselines.linear_superposition import (
+    LinearSuperpositionMethod,
+    SuperpositionEstimate,
+)
+from repro.baselines.coarse_model import (
+    CoarseChipletModel,
+    CoarsePackageSolution,
+    ROLE_VOID,
+    VOID_MATERIAL,
+)
+
+__all__ = [
+    "FullFEMReference",
+    "ReferenceSolution",
+    "LinearSuperpositionMethod",
+    "SuperpositionEstimate",
+    "CoarseChipletModel",
+    "CoarsePackageSolution",
+    "ROLE_VOID",
+    "VOID_MATERIAL",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+The CLI exposes the most common workflows without writing Python:
+
+``python -m repro info``
+    Print the package configuration (material library, mesh presets,
+    interpolation defaults).
+``python -m repro simulate --rows 8 --pitch 15 --delta-t -250``
+    One-shot MORE-Stress simulation of a standalone array; prints the peak
+    mid-plane von Mises stress and stage timings.
+``python -m repro table1|table2|table3``
+    Regenerate the paper's tables with the scaled-down default configuration
+    (see EXPERIMENTS.md) and print them as text.
+
+The CLI is intentionally a thin shell over the public API so that everything
+it does is equally accessible from Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+from repro.experiments.config import ConvergenceConfig, Scenario1Config, Scenario2Config
+from repro.experiments.convergence import convergence_table, run_convergence_study
+from repro.experiments.scenario1 import run_scenario1, scenario1_table
+from repro.experiments.scenario2 import run_scenario2, scenario2_table
+from repro.geometry.tsv import TSVGeometry
+from repro.materials.library import MaterialLibrary
+from repro.mesh.resolution import MeshResolution
+from repro.rom.interpolation import InterpolationScheme
+from repro.rom.workflow import MoreStressSimulator
+from repro.utils.logging import enable_console_logging
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MORE-Stress: model order reduction for TSV thermal stress (DATE 2025 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--verbose", action="store_true", help="enable progress logging to stderr"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("info", help="print configuration defaults")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate a standalone TSV array with MORE-Stress"
+    )
+    simulate.add_argument("--rows", type=int, default=4, help="array rows (default 4)")
+    simulate.add_argument("--cols", type=int, default=None, help="array columns (default: rows)")
+    simulate.add_argument("--pitch", type=float, default=15.0, help="TSV pitch in um")
+    simulate.add_argument("--diameter", type=float, default=5.0, help="TSV diameter in um")
+    simulate.add_argument("--height", type=float, default=50.0, help="TSV height in um")
+    simulate.add_argument(
+        "--liner", type=float, default=0.5, help="liner thickness in um"
+    )
+    simulate.add_argument(
+        "--delta-t", type=float, default=-250.0, help="thermal load in degC (default -250)"
+    )
+    simulate.add_argument(
+        "--resolution",
+        default="coarse",
+        choices=MeshResolution.preset_names(),
+        help="unit-block mesh preset",
+    )
+    simulate.add_argument(
+        "--nodes", type=int, default=4, help="interpolation nodes per axis (default 4)"
+    )
+    simulate.add_argument(
+        "--points-per-block", type=int, default=30, help="mid-plane sample grid per block"
+    )
+
+    for name, help_text in (
+        ("table1", "regenerate Table 1 (standalone arrays)"),
+        ("table2", "regenerate Table 2 (sub-modeling)"),
+        ("table3", "regenerate Table 3 / Fig. 6 (convergence)"),
+    ):
+        subparsers.add_parser(name, help=help_text)
+
+    return parser
+
+
+def _command_info() -> int:
+    library = MaterialLibrary.default()
+    print(f"repro {__version__} — MORE-Stress reproduction")
+    print("\nmaterial library (role: E [GPa], nu, CTE [ppm/degC]):")
+    for role in library.roles():
+        material = library[role]
+        print(
+            f"  {role:10s}  E={material.young_modulus / 1e3:7.1f}  "
+            f"nu={material.poisson_ratio:.2f}  alpha={material.cte * 1e6:.1f}"
+        )
+    print("\nmesh presets (cells per unit block / DoFs per block):")
+    for name in MeshResolution.preset_names():
+        resolution = MeshResolution.preset(name)
+        print(
+            f"  {name:7s}  {resolution.inplane_cells}x{resolution.inplane_cells}"
+            f"x{resolution.n_z} cells  ({resolution.dofs_per_block} DoFs)"
+        )
+    print("\ninterpolation schemes (nodes per axis -> element DoFs n, Eq. 16):")
+    for nodes in ((2, 2, 2), (3, 3, 3), (4, 4, 4), (5, 5, 5), (6, 6, 6)):
+        print(f"  {nodes}  ->  n = {InterpolationScheme(nodes).num_element_dofs}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    tsv = TSVGeometry(
+        diameter=args.diameter,
+        height=args.height,
+        liner_thickness=args.liner,
+        pitch=args.pitch,
+    )
+    simulator = MoreStressSimulator(
+        tsv,
+        MaterialLibrary.default(),
+        mesh_resolution=args.resolution,
+        nodes_per_axis=(args.nodes, args.nodes, args.nodes),
+    )
+    result = simulator.simulate_array(
+        rows=args.rows, cols=args.cols, delta_t=args.delta_t
+    )
+    vm = result.von_mises_midplane(points_per_block=args.points_per_block)
+    rows, cols = vm.shape[:2]
+    print(f"array             : {rows}x{cols} TSVs at pitch {args.pitch:g} um")
+    print(f"thermal load      : {args.delta_t:g} degC")
+    print(f"local stage       : {result.local_stage_seconds:.2f} s (one-shot)")
+    print(f"global stage      : {result.global_stage_seconds:.3f} s")
+    print(f"reduced DoFs      : {result.num_global_dofs}")
+    print(f"peak von Mises    : {vm.max():.1f} MPa")
+    print(f"mean von Mises    : {vm.mean():.1f} MPa")
+    return 0
+
+
+def _command_table(name: str) -> int:
+    if name == "table1":
+        records = run_scenario1(Scenario1Config.small())
+        print(scenario1_table(records).to_text())
+    elif name == "table2":
+        records = run_scenario2(Scenario2Config.small())
+        print(scenario2_table(records).to_text())
+    else:
+        records, reference_seconds = run_convergence_study(ConvergenceConfig.small())
+        print(convergence_table(records, reference_seconds).to_text())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro``.  Returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+    if args.command == "info":
+        return _command_info()
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command in ("table1", "table2", "table3"):
+        return _command_table(args.command)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Experiment drivers regenerating the paper's tables and figures."""
+
+from repro.experiments.config import (
+    Scenario1Config,
+    Scenario2Config,
+    ConvergenceConfig,
+)
+from repro.experiments.scenario1 import Scenario1Record, run_scenario1, scenario1_table
+from repro.experiments.scenario2 import Scenario2Record, run_scenario2, scenario2_table
+from repro.experiments.convergence import (
+    ConvergenceRecord,
+    run_convergence_study,
+    convergence_table,
+)
+
+__all__ = [
+    "Scenario1Config",
+    "Scenario2Config",
+    "ConvergenceConfig",
+    "Scenario1Record",
+    "run_scenario1",
+    "scenario1_table",
+    "Scenario2Record",
+    "run_scenario2",
+    "scenario2_table",
+    "ConvergenceRecord",
+    "run_convergence_study",
+    "convergence_table",
+]

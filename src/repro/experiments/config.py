@@ -1,0 +1,128 @@
+"""Experiment configurations.
+
+Every experiment has two standard configurations:
+
+* ``small()`` — the default used by the test-suite and the benchmark harness.
+  The pure-Python reference FEM (which plays ANSYS's role) limits how large
+  the ground-truth problems can be, so array sizes and mesh resolutions are
+  scaled down while keeping every qualitative knob of the paper (two pitches,
+  five package locations, the (2,2,2)…(6,6,6) node sweep).
+* ``paper()`` — the paper-scale parameters (array sizes 10x10…50x50, 15x15
+  embedded arrays, 100x100 sample points per block).  Running these requires
+  hours of CPU time with the pure-Python reference solver; they are provided
+  for completeness and for users with time to burn.
+
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Scenario1Config:
+    """Standalone TSV arrays with clamped top/bottom surfaces (Table 1)."""
+
+    pitches: tuple[float, ...] = (15.0, 10.0)
+    array_sizes: tuple[int, ...] = (2, 3, 4)
+    mesh_resolution: str = "tiny"
+    nodes_per_axis: tuple[int, int, int] = (4, 4, 4)
+    points_per_block: int = 20
+    delta_t: float = -250.0
+    superposition_window_blocks: int = 3
+
+    def __post_init__(self) -> None:
+        for size in self.array_sizes:
+            check_positive_int("array size", size)
+
+    @classmethod
+    def small(cls) -> "Scenario1Config":
+        """Scaled-down default configuration (minutes of CPU time)."""
+        return cls()
+
+    @classmethod
+    def medium(cls) -> "Scenario1Config":
+        """A larger sweep for overnight runs."""
+        return cls(array_sizes=(3, 4, 5, 6), mesh_resolution="coarse",
+                   points_per_block=30)
+
+    @classmethod
+    def paper(cls) -> "Scenario1Config":
+        """The paper's configuration (array sizes 10x10 … 50x50)."""
+        return cls(
+            array_sizes=(10, 20, 30, 40, 50),
+            mesh_resolution="paper",
+            points_per_block=100,
+            superposition_window_blocks=5,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario2Config:
+    """TSV array embedded at five chiplet locations via sub-modeling (Table 2)."""
+
+    pitches: tuple[float, ...] = (15.0, 10.0)
+    array_rows: int = 3
+    array_cols: int = 3
+    dummy_ring_width: int = 1
+    locations: tuple[str, ...] = ("loc1", "loc2", "loc3", "loc4", "loc5")
+    mesh_resolution: str = "tiny"
+    nodes_per_axis: tuple[int, int, int] = (4, 4, 4)
+    points_per_block: int = 20
+    delta_t: float = -250.0
+    coarse_inplane_cells: int = 18
+    package_scale: float = 1.0
+    superposition_window_blocks: int = 3
+
+    @classmethod
+    def small(cls) -> "Scenario2Config":
+        """Scaled-down default configuration."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "Scenario2Config":
+        """The paper's configuration (15x15 array, 2 dummy rings, 100x100 grid)."""
+        return cls(
+            array_rows=15,
+            array_cols=15,
+            dummy_ring_width=2,
+            mesh_resolution="paper",
+            points_per_block=100,
+            coarse_inplane_cells=40,
+            package_scale=2.0,
+            superposition_window_blocks=5,
+        )
+
+
+@dataclass(frozen=True)
+class ConvergenceConfig:
+    """Convergence of the error with the interpolation node count (Table 3 / Fig. 6)."""
+
+    pitch: float = 15.0
+    array_size: int = 3
+    node_counts: tuple[tuple[int, int, int], ...] = (
+        (2, 2, 2),
+        (3, 3, 3),
+        (4, 4, 4),
+        (5, 5, 5),
+        (6, 6, 6),
+    )
+    mesh_resolution: str = "coarse"
+    points_per_block: int = 20
+    delta_t: float = -250.0
+
+    @classmethod
+    def small(cls) -> "ConvergenceConfig":
+        """Scaled-down default configuration."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "ConvergenceConfig":
+        """The paper's configuration (20x20 array, 100x100 grid per block)."""
+        return cls(array_size=20, mesh_resolution="paper", points_per_block=100)
+
+
+__all__ = ["Scenario1Config", "Scenario2Config", "ConvergenceConfig"]

@@ -1,0 +1,173 @@
+"""Scenario 1: standalone TSV arrays (paper Table 1, Fig. 5a).
+
+For every pitch and array size the driver runs
+
+* the reference full FEM (the role ANSYS plays in the paper) — ground truth,
+  runtime and memory;
+* the linear superposition baseline — runtime, memory and normalized MAE;
+* MORE-Stress — one-shot local stage time (once per pitch), global stage
+  runtime, memory and normalized MAE;
+
+and reports the same improvement factors the paper tabulates (time and memory
+reduction over the full FEM, accuracy improvement over superposition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import normalized_mae
+from repro.analysis.reporting import ResultTable, format_bytes, format_seconds
+from repro.baselines.full_fem import FullFEMReference
+from repro.baselines.linear_superposition import LinearSuperpositionMethod
+from repro.experiments.config import Scenario1Config
+from repro.geometry.array_layout import TSVArrayLayout
+from repro.geometry.tsv import TSVGeometry
+from repro.materials.library import MaterialLibrary
+from repro.rom.workflow import MoreStressSimulator
+from repro.utils.logging import get_logger
+
+_logger = get_logger("experiments.scenario1")
+
+
+@dataclass
+class Scenario1Record:
+    """One (pitch, array size) case of the standalone-array study."""
+
+    pitch: float
+    array_size: int
+    # reference full FEM
+    reference_dofs: int
+    reference_seconds: float
+    reference_peak_bytes: int
+    # linear superposition
+    superposition_seconds: float
+    superposition_peak_bytes: int
+    superposition_error: float
+    # MORE-Stress
+    rom_local_stage_seconds: float
+    rom_global_stage_seconds: float
+    rom_peak_bytes: int
+    rom_error: float
+    rom_global_dofs: int
+
+    @property
+    def time_improvement_over_reference(self) -> float:
+        """Reference runtime divided by the MORE-Stress global-stage runtime."""
+        return self.reference_seconds / max(self.rom_global_stage_seconds, 1e-12)
+
+    @property
+    def memory_improvement_over_reference(self) -> float:
+        """Reference peak memory divided by the MORE-Stress peak memory."""
+        return self.reference_peak_bytes / max(self.rom_peak_bytes, 1)
+
+    @property
+    def accuracy_improvement_over_superposition(self) -> float:
+        """Superposition error divided by the MORE-Stress error."""
+        return self.superposition_error / max(self.rom_error, 1e-12)
+
+
+def run_scenario1(
+    config: Scenario1Config | None = None,
+    materials: MaterialLibrary | None = None,
+) -> list[Scenario1Record]:
+    """Run the standalone-array study and return one record per case."""
+    config = config or Scenario1Config.small()
+    materials = materials or MaterialLibrary.default()
+    records: list[Scenario1Record] = []
+
+    for pitch in config.pitches:
+        tsv = TSVGeometry.paper_default(pitch=pitch)
+        simulator = MoreStressSimulator(
+            tsv,
+            materials,
+            mesh_resolution=config.mesh_resolution,
+            nodes_per_axis=config.nodes_per_axis,
+        )
+        superposition = LinearSuperpositionMethod(
+            materials,
+            resolution=config.mesh_resolution,
+            window_blocks=config.superposition_window_blocks,
+        )
+        reference = FullFEMReference(materials, resolution=config.mesh_resolution)
+
+        # One-shot stages are run once per pitch (geometry change), exactly as
+        # the paper accounts for them.
+        simulator.build_roms()
+        superposition.prepare(tsv)
+
+        for size in config.array_sizes:
+            layout = TSVArrayLayout.full(tsv, rows=size)
+            _logger.info("scenario 1: pitch=%g size=%dx%d", pitch, size, size)
+
+            reference_solution = reference.solve_array(layout, config.delta_t)
+            reference_vm = reference_solution.von_mises_midplane(config.points_per_block)
+
+            estimate = superposition.estimate(
+                layout, config.delta_t, points_per_block=config.points_per_block
+            )
+            superposition_vm = estimate.von_mises_midplane()
+
+            result = simulator.simulate_array(rows=size, delta_t=config.delta_t)
+            rom_vm = result.von_mises_midplane(config.points_per_block)
+
+            records.append(
+                Scenario1Record(
+                    pitch=pitch,
+                    array_size=size,
+                    reference_dofs=reference_solution.num_dofs,
+                    reference_seconds=reference_solution.total_time(),
+                    reference_peak_bytes=reference_solution.peak_memory_bytes,
+                    superposition_seconds=estimate.estimation_seconds,
+                    superposition_peak_bytes=estimate.peak_memory_bytes,
+                    superposition_error=normalized_mae(superposition_vm, reference_vm),
+                    rom_local_stage_seconds=simulator.local_stage_seconds,
+                    rom_global_stage_seconds=result.global_stage_seconds,
+                    rom_peak_bytes=result.peak_memory_bytes,
+                    rom_error=normalized_mae(rom_vm, reference_vm),
+                    rom_global_dofs=result.num_global_dofs,
+                )
+            )
+    return records
+
+
+def scenario1_table(records: list[Scenario1Record]) -> ResultTable:
+    """Format scenario-1 records as a Table-1-style text table."""
+    table = ResultTable(
+        title="Table 1 — standalone TSV arrays (per pitch and array size)",
+        columns=[
+            "pitch",
+            "array",
+            "fullFEM time",
+            "fullFEM mem",
+            "superpos time",
+            "superpos err",
+            "MORE-Stress time",
+            "MORE-Stress mem",
+            "MORE-Stress err",
+            "time gain",
+            "mem gain",
+            "accuracy gain",
+        ],
+    )
+    for record in records:
+        table.add_row(
+            pitch=f"{record.pitch:g} um",
+            array=f"{record.array_size}x{record.array_size}",
+            **{
+                "fullFEM time": format_seconds(record.reference_seconds),
+                "fullFEM mem": format_bytes(record.reference_peak_bytes),
+                "superpos time": format_seconds(record.superposition_seconds),
+                "superpos err": f"{100 * record.superposition_error:.2f}%",
+                "MORE-Stress time": format_seconds(record.rom_global_stage_seconds),
+                "MORE-Stress mem": format_bytes(record.rom_peak_bytes),
+                "MORE-Stress err": f"{100 * record.rom_error:.2f}%",
+                "time gain": f"{record.time_improvement_over_reference:.0f}x",
+                "mem gain": f"{record.memory_improvement_over_reference:.0f}x",
+                "accuracy gain": f"{record.accuracy_improvement_over_superposition:.1f}x",
+            },
+        )
+    return table
+
+
+__all__ = ["Scenario1Record", "run_scenario1", "scenario1_table"]

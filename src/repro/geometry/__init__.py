@@ -1,0 +1,16 @@
+"""Geometry descriptions: TSVs, unit blocks, array layouts, chiplet packages."""
+
+from repro.geometry.tsv import TSVGeometry
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.geometry.array_layout import TSVArrayLayout, BlockKind
+from repro.geometry.package import ChipletPackage, SubModelLocation, PackageLayer
+
+__all__ = [
+    "TSVGeometry",
+    "UnitBlockGeometry",
+    "TSVArrayLayout",
+    "BlockKind",
+    "ChipletPackage",
+    "SubModelLocation",
+    "PackageLayer",
+]

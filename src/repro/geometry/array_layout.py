@@ -1,0 +1,196 @@
+"""TSV array layouts: which unit block sits where.
+
+The global stage of MORE-Stress treats the array as an abstract "mesh" of unit
+blocks.  A layout records, for every block position ``(row, col)``, whether the
+block contains a TSV or is a dummy (pure silicon) padding block, plus where the
+array sits in global package coordinates (needed for sub-modeling).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.tsv import TSVGeometry
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.utils.validation import check_positive_int
+
+
+class BlockKind(enum.Enum):
+    """Kind of unit block occupying a layout cell."""
+
+    TSV = "tsv"
+    DUMMY = "dummy"
+
+
+@dataclass
+class TSVArrayLayout:
+    """A rectangular (90-degree) array of unit blocks.
+
+    Attributes
+    ----------
+    tsv:
+        The TSV geometry shared by all blocks (pitch = block footprint).
+    kinds:
+        2-D array of :class:`BlockKind`, shape ``(rows, cols)``; entry
+        ``[i, j]`` is the block whose lower-left corner sits at
+        ``origin + (j * pitch, i * pitch)``.
+    origin:
+        Global package coordinates of the lower-left-bottom corner of block
+        ``(0, 0)``.  For standalone arrays this is simply ``(0, 0, 0)``.
+    """
+
+    tsv: TSVGeometry
+    kinds: np.ndarray
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        kinds = np.asarray(self.kinds, dtype=object)
+        if kinds.ndim != 2:
+            raise ValueError(f"kinds must be a 2-D array, got shape {kinds.shape}")
+        for kind in kinds.flat:
+            if not isinstance(kind, BlockKind):
+                raise TypeError(f"kinds entries must be BlockKind, got {kind!r}")
+        self.kinds = kinds
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def full(
+        cls,
+        tsv: TSVGeometry,
+        rows: int,
+        cols: int | None = None,
+        origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> "TSVArrayLayout":
+        """A dense ``rows x cols`` TSV array with no dummy blocks."""
+        rows = check_positive_int("rows", rows)
+        cols = rows if cols is None else check_positive_int("cols", cols)
+        kinds = np.full((rows, cols), BlockKind.TSV, dtype=object)
+        return cls(tsv=tsv, kinds=kinds, origin=origin)
+
+    @classmethod
+    def with_dummy_ring(
+        cls,
+        tsv: TSVGeometry,
+        rows: int,
+        cols: int | None = None,
+        ring_width: int = 2,
+        origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> "TSVArrayLayout":
+        """A TSV array padded with ``ring_width`` rings of dummy blocks.
+
+        This is the configuration used for sub-modeling (paper §4.4): the
+        dummy blocks keep the sub-model boundary far from the TSVs.
+        """
+        rows = check_positive_int("rows", rows)
+        cols = rows if cols is None else check_positive_int("cols", cols)
+        ring_width = check_positive_int("ring_width", ring_width, minimum=0)
+        total_rows = rows + 2 * ring_width
+        total_cols = cols + 2 * ring_width
+        kinds = np.full((total_rows, total_cols), BlockKind.DUMMY, dtype=object)
+        kinds[ring_width:ring_width + rows, ring_width:ring_width + cols] = BlockKind.TSV
+        return cls(tsv=tsv, kinds=kinds, origin=origin)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> int:
+        """Number of block rows (y direction)."""
+        return int(self.kinds.shape[0])
+
+    @property
+    def cols(self) -> int:
+        """Number of block columns (x direction)."""
+        return int(self.kinds.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, cols)`` of the layout."""
+        return (self.rows, self.cols)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of unit blocks."""
+        return self.rows * self.cols
+
+    @property
+    def num_tsv_blocks(self) -> int:
+        """Number of blocks that contain a TSV."""
+        return int(np.count_nonzero(self.kinds == BlockKind.TSV))
+
+    @property
+    def num_dummy_blocks(self) -> int:
+        """Number of dummy (pure silicon) blocks."""
+        return self.num_blocks - self.num_tsv_blocks
+
+    @property
+    def extent(self) -> tuple[float, float, float]:
+        """Physical size of the whole layout ``(x, y, z)``."""
+        return (
+            self.cols * self.tsv.pitch,
+            self.rows * self.tsv.pitch,
+            self.tsv.height,
+        )
+
+    def kind_at(self, row: int, col: int) -> BlockKind:
+        """Return the block kind at ``(row, col)``."""
+        return self.kinds[row, col]
+
+    def block_at(self, row: int, col: int) -> UnitBlockGeometry:
+        """Return the unit block geometry at ``(row, col)``."""
+        return UnitBlockGeometry(
+            tsv=self.tsv, has_tsv=self.kind_at(row, col) is BlockKind.TSV
+        )
+
+    def block_origin(self, row: int, col: int) -> tuple[float, float, float]:
+        """Global coordinates of the lower-left-bottom corner of a block."""
+        ox, oy, oz = self.origin
+        return (ox + col * self.tsv.pitch, oy + row * self.tsv.pitch, oz)
+
+    def tsv_centers(self) -> np.ndarray:
+        """Global ``(x, y)`` coordinates of all TSV axes, shape ``(n_tsv, 2)``."""
+        centers = []
+        half = 0.5 * self.tsv.pitch
+        for row in range(self.rows):
+            for col in range(self.cols):
+                if self.kind_at(row, col) is BlockKind.TSV:
+                    bx, by, _ = self.block_origin(row, col)
+                    centers.append((bx + half, by + half))
+        if not centers:
+            return np.zeros((0, 2), dtype=float)
+        return np.asarray(centers, dtype=float)
+
+    def iter_blocks(self):
+        """Yield ``(row, col, BlockKind)`` for every block in row-major order."""
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield row, col, self.kind_at(row, col)
+
+    def tsv_region(self) -> tuple[slice, slice] | None:
+        """Return the (row, col) slices of the bounding box of TSV blocks.
+
+        Returns ``None`` for a layout containing only dummy blocks.  For the
+        sub-modeling error metric only the TSV region is of interest (the
+        dummy padding is not part of the structure being analysed).
+        """
+        mask = self.kinds == BlockKind.TSV
+        if not mask.any():
+            return None
+        rows = np.nonzero(mask.any(axis=1))[0]
+        cols = np.nonzero(mask.any(axis=0))[0]
+        return (
+            slice(int(rows[0]), int(rows[-1]) + 1),
+            slice(int(cols[0]), int(cols[-1]) + 1),
+        )
+
+    def translated(self, origin: tuple[float, float, float]) -> "TSVArrayLayout":
+        """Return a copy of this layout at a different global origin."""
+        return TSVArrayLayout(tsv=self.tsv, kinds=self.kinds.copy(), origin=origin)
+
+
+__all__ = ["TSVArrayLayout", "BlockKind"]

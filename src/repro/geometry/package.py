@@ -1,0 +1,283 @@
+"""Chiplet package geometry for the sub-modeling scenario (paper Fig. 5b).
+
+The second scenario of the paper embeds a 15x15 TSV array at five different
+locations inside a chiplet consisting of a composite package substrate, a
+silicon interposer (which carries the TSVs) and a silicon die.  The package
+is solved once with a coarse mesh (no TSVs resolved); the resulting warpage
+displacement field supplies Dirichlet boundary conditions for the sub-model.
+
+The default dimensions here are scaled down relative to a production package
+so that the coarse model stays cheap in pure Python, but the structure is the
+same: a compliant, high-CTE substrate below a stiff silicon interposer and
+die, which produces the characteristic warpage and the sharp background
+stress variations near the die corner and the interposer corner that make
+loc3/loc5 hard for the linear superposition method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.array_layout import TSVArrayLayout
+from repro.geometry.tsv import TSVGeometry
+from repro.materials.library import ROLE_SILICON, ROLE_SUBSTRATE, ROLE_UNDERFILL
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class PackageLayer:
+    """One prismatic layer of the chiplet stack.
+
+    Attributes
+    ----------
+    name:
+        Layer name (``"substrate"``, ``"interposer"``, ``"die"``, ...).
+    material_role:
+        Role looked up in the :class:`~repro.materials.MaterialLibrary`.
+    x_range, y_range:
+        In-plane footprint ``(min, max)`` in package coordinates.
+    z_range:
+        Vertical extent ``(bottom, top)`` in package coordinates.
+    """
+
+    name: str
+    material_role: str
+    x_range: tuple[float, float]
+    y_range: tuple[float, float]
+    z_range: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        for label, (lo, hi) in (
+            ("x_range", self.x_range),
+            ("y_range", self.y_range),
+            ("z_range", self.z_range),
+        ):
+            if hi <= lo:
+                raise ValidationError(f"{label} must be increasing, got {(lo, hi)}")
+
+    @property
+    def thickness(self) -> float:
+        """Layer thickness along z."""
+        return self.z_range[1] - self.z_range[0]
+
+    def contains(self, x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Boolean mask of points inside the layer (boundaries inclusive)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        z = np.asarray(z, dtype=float)
+        return (
+            (x >= self.x_range[0])
+            & (x <= self.x_range[1])
+            & (y >= self.y_range[0])
+            & (y <= self.y_range[1])
+            & (z >= self.z_range[0])
+            & (z <= self.z_range[1])
+        )
+
+
+@dataclass(frozen=True)
+class SubModelLocation:
+    """A named placement of the TSV-array sub-model inside the interposer.
+
+    Attributes
+    ----------
+    name:
+        Location label (``"loc1"`` .. ``"loc5"`` in the paper).
+    description:
+        Human-readable description of where the array sits.
+    origin:
+        Package coordinates of the lower-left-bottom corner of the padded
+        sub-model (dummy ring included).
+    """
+
+    name: str
+    description: str
+    origin: tuple[float, float, float]
+
+
+@dataclass
+class ChipletPackage:
+    """A substrate + interposer + die chiplet stack.
+
+    The interposer carries the TSV array; its thickness equals the TSV height
+    so that the sub-model spans the full interposer thickness, exactly as in
+    the paper's second scenario.
+    """
+
+    substrate_size: float = 1500.0
+    substrate_thickness: float = 150.0
+    interposer_size: float = 900.0
+    interposer_thickness: float = 50.0
+    die_size: float = 450.0
+    die_thickness: float = 80.0
+    underfill_thickness: float = 20.0
+
+    def __post_init__(self) -> None:
+        check_positive("substrate_size", self.substrate_size)
+        check_positive("substrate_thickness", self.substrate_thickness)
+        check_positive("interposer_size", self.interposer_size)
+        check_positive("interposer_thickness", self.interposer_thickness)
+        check_positive("die_size", self.die_size)
+        check_positive("die_thickness", self.die_thickness)
+        check_positive("underfill_thickness", self.underfill_thickness)
+        if self.interposer_size > self.substrate_size:
+            raise ValidationError("interposer must not be larger than the substrate")
+        if self.die_size > self.interposer_size:
+            raise ValidationError("die must not be larger than the interposer")
+
+    # ------------------------------------------------------------------ #
+    # layer stack
+    # ------------------------------------------------------------------ #
+    def layers(self) -> list[PackageLayer]:
+        """Return the layer stack from bottom (substrate) to top (die)."""
+        half_sub = 0.5 * self.substrate_size
+        half_int = 0.5 * self.interposer_size
+        half_die = 0.5 * self.die_size
+        z0 = 0.0
+        z1 = self.substrate_thickness
+        z2 = z1 + self.underfill_thickness
+        z3 = z2 + self.interposer_thickness
+        z4 = z3 + self.die_thickness
+        return [
+            PackageLayer(
+                name="substrate",
+                material_role=ROLE_SUBSTRATE,
+                x_range=(-half_sub, half_sub),
+                y_range=(-half_sub, half_sub),
+                z_range=(z0, z1),
+            ),
+            PackageLayer(
+                name="underfill",
+                material_role=ROLE_UNDERFILL,
+                x_range=(-half_int, half_int),
+                y_range=(-half_int, half_int),
+                z_range=(z1, z2),
+            ),
+            PackageLayer(
+                name="interposer",
+                material_role=ROLE_SILICON,
+                x_range=(-half_int, half_int),
+                y_range=(-half_int, half_int),
+                z_range=(z2, z3),
+            ),
+            PackageLayer(
+                name="die",
+                material_role=ROLE_SILICON,
+                x_range=(-half_die, half_die),
+                y_range=(-half_die, half_die),
+                z_range=(z3, z4),
+            ),
+        ]
+
+    def layer(self, name: str) -> PackageLayer:
+        """Return a layer by name."""
+        for layer in self.layers():
+            if layer.name == name:
+                return layer
+        raise KeyError(f"package has no layer named {name!r}")
+
+    @property
+    def interposer_z_range(self) -> tuple[float, float]:
+        """Vertical extent of the interposer (where TSV arrays live)."""
+        return self.layer("interposer").z_range
+
+    @property
+    def total_height(self) -> float:
+        """Total stack height."""
+        return self.layers()[-1].z_range[1]
+
+    @property
+    def bounding_box(self) -> tuple[tuple[float, float], tuple[float, float], tuple[float, float]]:
+        """Axis-aligned bounding box ``((xmin, xmax), (ymin, ymax), (zmin, zmax))``."""
+        half_sub = 0.5 * self.substrate_size
+        return ((-half_sub, half_sub), (-half_sub, half_sub), (0.0, self.total_height))
+
+    def material_role_at(
+        self, x: np.ndarray, y: np.ndarray, z: np.ndarray
+    ) -> np.ndarray:
+        """Classify points into layer material roles (``"void"`` if outside)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        z = np.asarray(z, dtype=float)
+        roles = np.full(np.broadcast(x, y, z).shape, "void", dtype=object)
+        for layer in self.layers():
+            mask = layer.contains(x, y, z)
+            roles[mask] = layer.material_role
+        return roles
+
+    # ------------------------------------------------------------------ #
+    # sub-model placement
+    # ------------------------------------------------------------------ #
+    def submodel_footprint(self, layout: TSVArrayLayout) -> tuple[float, float]:
+        """In-plane size of the padded sub-model for a given layout."""
+        ext_x, ext_y, _ = layout.extent
+        return (ext_x, ext_y)
+
+    def paper_locations(self, layout: TSVArrayLayout) -> list[SubModelLocation]:
+        """Return the five sub-model locations of the paper's second scenario.
+
+        * ``loc1`` — centre of the die shadow (smooth background stress);
+        * ``loc2`` — under the middle of a die edge;
+        * ``loc3`` — under the die corner (sharp background variation);
+        * ``loc4`` — near the middle of an interposer edge;
+        * ``loc5`` — at the interposer corner (sharpest background variation).
+        """
+        size_x, size_y = self.submodel_footprint(layout)
+        z0 = self.interposer_z_range[0]
+        half_die = 0.5 * self.die_size
+        half_int = 0.5 * self.interposer_size
+        margin = 0.05 * self.interposer_size
+
+        def clamp_origin(cx: float, cy: float) -> tuple[float, float, float]:
+            """Centre the sub-model at (cx, cy), clamped inside the interposer."""
+            ox = cx - 0.5 * size_x
+            oy = cy - 0.5 * size_y
+            ox = min(max(ox, -half_int + margin), half_int - margin - size_x)
+            oy = min(max(oy, -half_int + margin), half_int - margin - size_y)
+            return (ox, oy, z0)
+
+        return [
+            SubModelLocation("loc1", "centre of the die shadow", clamp_origin(0.0, 0.0)),
+            SubModelLocation(
+                "loc2", "middle of a die edge", clamp_origin(half_die, 0.0)
+            ),
+            SubModelLocation(
+                "loc3", "die corner", clamp_origin(half_die, half_die)
+            ),
+            SubModelLocation(
+                "loc4",
+                "middle of an interposer edge",
+                clamp_origin(half_int - 0.6 * size_x, 0.0),
+            ),
+            SubModelLocation(
+                "loc5",
+                "interposer corner",
+                clamp_origin(half_int - 0.6 * size_x, half_int - 0.6 * size_y),
+            ),
+        ]
+
+    def location(self, name: str, layout: TSVArrayLayout) -> SubModelLocation:
+        """Return one of the paper locations by name (``"loc1"``..``"loc5"``)."""
+        for loc in self.paper_locations(layout):
+            if loc.name == name:
+                return loc
+        raise KeyError(f"unknown sub-model location {name!r}")
+
+    @classmethod
+    def scaled_default(cls, scale: float = 1.0) -> "ChipletPackage":
+        """Return the default package with in-plane dimensions scaled."""
+        check_positive("scale", scale)
+        return cls(
+            substrate_size=1500.0 * scale,
+            substrate_thickness=150.0,
+            interposer_size=900.0 * scale,
+            interposer_thickness=50.0,
+            die_size=450.0 * scale,
+            die_thickness=80.0,
+            underfill_thickness=20.0,
+        )
+
+
+__all__ = ["ChipletPackage", "PackageLayer", "SubModelLocation"]

@@ -1,0 +1,92 @@
+"""TSV geometric parameters (paper Fig. 2).
+
+A TSV is modelled as a copper cylinder of diameter ``d`` and height ``h``
+through the silicon substrate, surrounded by a thin dielectric liner of
+thickness ``t``.  Adjacent TSVs in a 90-degree array are separated by the
+pitch ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class TSVGeometry:
+    """Geometry of a single TSV and of the surrounding array cell.
+
+    All lengths are in micrometres (the package-internal length unit).
+
+    Attributes
+    ----------
+    diameter:
+        Diameter ``d`` of the copper via body.
+    height:
+        Height ``h`` of the via (equal to the substrate thickness).
+    liner_thickness:
+        Thickness ``t`` of the dielectric liner around the copper body.
+    pitch:
+        Centre-to-centre pitch ``p`` of adjacent TSVs in the array.
+    """
+
+    diameter: float = 5.0
+    height: float = 50.0
+    liner_thickness: float = 0.5
+    pitch: float = 15.0
+
+    def __post_init__(self) -> None:
+        check_positive("diameter", self.diameter)
+        check_positive("height", self.height)
+        check_positive("liner_thickness", self.liner_thickness)
+        check_positive("pitch", self.pitch)
+        if self.outer_diameter >= self.pitch:
+            raise ValidationError(
+                "TSV (including liner) does not fit in the unit cell: "
+                f"d + 2t = {self.outer_diameter} >= pitch = {self.pitch}"
+            )
+
+    @property
+    def radius(self) -> float:
+        """Radius of the copper body."""
+        return 0.5 * self.diameter
+
+    @property
+    def outer_radius(self) -> float:
+        """Radius of the copper body plus the liner."""
+        return 0.5 * self.diameter + self.liner_thickness
+
+    @property
+    def outer_diameter(self) -> float:
+        """Diameter of the copper body plus the liner."""
+        return self.diameter + 2.0 * self.liner_thickness
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Height over diameter of the copper body."""
+        return self.height / self.diameter
+
+    @property
+    def fill_factor(self) -> float:
+        """Area fraction of the unit cell occupied by the via (with liner)."""
+        import math
+
+        return math.pi * self.outer_radius**2 / self.pitch**2
+
+    def with_pitch(self, pitch: float) -> "TSVGeometry":
+        """Return the same TSV with a different array pitch."""
+        return TSVGeometry(
+            diameter=self.diameter,
+            height=self.height,
+            liner_thickness=self.liner_thickness,
+            pitch=pitch,
+        )
+
+    @classmethod
+    def paper_default(cls, pitch: float = 15.0) -> "TSVGeometry":
+        """The TSV used throughout the paper: d=5 um, h=50 um, t=0.5 um."""
+        return cls(diameter=5.0, height=50.0, liner_thickness=0.5, pitch=pitch)
+
+
+__all__ = ["TSVGeometry"]

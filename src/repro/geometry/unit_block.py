@@ -1,0 +1,107 @@
+"""The TSV unit block: one periodic cell of the TSV array (paper Fig. 3b).
+
+The unit block is a ``pitch x pitch x height`` cuboid of silicon with a single
+TSV (copper core + dielectric liner) in the middle.  "Dummy" unit blocks have
+the same dimensions but no TSV; they are pure silicon and are used to pad a
+sub-model so that its boundary is far enough from the TSV array (paper §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.tsv import TSVGeometry
+from repro.materials.library import ROLE_COPPER, ROLE_LINER, ROLE_SILICON
+
+
+@dataclass(frozen=True)
+class UnitBlockGeometry:
+    """Geometry of one unit block of a TSV array.
+
+    Attributes
+    ----------
+    tsv:
+        The TSV geometry (pitch defines the block footprint).
+    has_tsv:
+        ``False`` for a dummy block (pure silicon), ``True`` for a TSV block.
+    """
+
+    tsv: TSVGeometry
+    has_tsv: bool = True
+
+    @property
+    def size_x(self) -> float:
+        """Block extent along x (equal to the pitch)."""
+        return self.tsv.pitch
+
+    @property
+    def size_y(self) -> float:
+        """Block extent along y (equal to the pitch)."""
+        return self.tsv.pitch
+
+    @property
+    def size_z(self) -> float:
+        """Block extent along z (equal to the TSV height)."""
+        return self.tsv.height
+
+    @property
+    def dimensions(self) -> tuple[float, float, float]:
+        """Block extents ``(pitch, pitch, height)``."""
+        return (self.size_x, self.size_y, self.size_z)
+
+    @property
+    def center_xy(self) -> tuple[float, float]:
+        """In-plane coordinates of the TSV axis within the block."""
+        return (0.5 * self.size_x, 0.5 * self.size_y)
+
+    def as_dummy(self) -> "UnitBlockGeometry":
+        """Return the dummy (TSV-less) version of this block."""
+        return UnitBlockGeometry(tsv=self.tsv, has_tsv=False)
+
+    def material_role_at(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Classify in-plane points into material roles.
+
+        Parameters
+        ----------
+        x, y:
+            Arrays of in-plane coordinates *local to the block* (origin at the
+            block corner).  The TSV cross-section does not vary along z, so z
+            is irrelevant for the classification.
+
+        Returns
+        -------
+        numpy.ndarray of str
+            One of ``"copper"``, ``"liner"`` or ``"silicon"`` per point.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        roles = np.full(np.broadcast(x, y).shape, ROLE_SILICON, dtype=object)
+        if not self.has_tsv:
+            return roles
+        cx, cy = self.center_xy
+        r = np.hypot(x - cx, y - cy)
+        roles[r <= self.tsv.outer_radius] = ROLE_LINER
+        roles[r <= self.tsv.radius] = ROLE_COPPER
+        return roles
+
+    def volume_fractions(self, samples_per_axis: int = 200) -> dict[str, float]:
+        """Estimate the volume fraction of each material role in the block.
+
+        Uses a regular in-plane sampling grid (the geometry is prismatic so
+        the z direction does not change the fractions).
+        """
+        coords = (np.arange(samples_per_axis) + 0.5) / samples_per_axis
+        xs = coords * self.size_x
+        ys = coords * self.size_y
+        grid_x, grid_y = np.meshgrid(xs, ys, indexing="ij")
+        roles = self.material_role_at(grid_x, grid_y)
+        total = roles.size
+        return {
+            role: float(np.count_nonzero(roles == role)) / total
+            for role in (ROLE_COPPER, ROLE_LINER, ROLE_SILICON)
+        }
+
+
+__all__ = ["UnitBlockGeometry"]

@@ -1,0 +1,13 @@
+"""Thermo-elastic material models and the default 2.5D/3D IC material library."""
+
+from repro.materials.material import IsotropicMaterial, lame_parameters
+from repro.materials.library import MaterialLibrary, MaterialAssignment
+from repro.materials.temperature import ThermalLoad
+
+__all__ = [
+    "IsotropicMaterial",
+    "lame_parameters",
+    "MaterialLibrary",
+    "MaterialAssignment",
+    "ThermalLoad",
+]

@@ -1,0 +1,150 @@
+"""Default material library for TSV / 2.5D package simulations.
+
+The values follow the ones commonly used in the TSV thermal-stress literature
+the paper builds on (Jung et al. DAC'12, Li & Pan DAC'13): copper vias in a
+silicon substrate with a thin SiO2 dielectric liner, plus the package-level
+materials needed for the chiplet sub-modeling scenario (organic substrate,
+underfill, solder).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.materials.material import IsotropicMaterial
+from repro.utils.units import GPA
+
+#: Canonical role names used by the meshers to tag elements.
+ROLE_SILICON = "silicon"
+ROLE_COPPER = "copper"
+ROLE_LINER = "liner"
+ROLE_SUBSTRATE = "substrate"
+ROLE_UNDERFILL = "underfill"
+ROLE_SOLDER = "solder"
+
+
+def _default_materials() -> dict[str, IsotropicMaterial]:
+    """Build the default material set (E in MPa, CTE in 1/degC)."""
+    return {
+        ROLE_SILICON: IsotropicMaterial(
+            name=ROLE_SILICON,
+            young_modulus=130.0 * GPA,
+            poisson_ratio=0.28,
+            cte=2.3e-6,
+        ),
+        ROLE_COPPER: IsotropicMaterial(
+            name=ROLE_COPPER,
+            young_modulus=110.0 * GPA,
+            poisson_ratio=0.35,
+            cte=17.0e-6,
+        ),
+        ROLE_LINER: IsotropicMaterial(
+            name=ROLE_LINER,
+            young_modulus=71.0 * GPA,
+            poisson_ratio=0.16,
+            cte=0.5e-6,
+        ),
+        ROLE_SUBSTRATE: IsotropicMaterial(
+            name=ROLE_SUBSTRATE,
+            young_modulus=26.0 * GPA,
+            poisson_ratio=0.39,
+            cte=15.0e-6,
+        ),
+        ROLE_UNDERFILL: IsotropicMaterial(
+            name=ROLE_UNDERFILL,
+            young_modulus=6.0 * GPA,
+            poisson_ratio=0.35,
+            cte=30.0e-6,
+        ),
+        ROLE_SOLDER: IsotropicMaterial(
+            name=ROLE_SOLDER,
+            young_modulus=41.0 * GPA,
+            poisson_ratio=0.35,
+            cte=21.0e-6,
+        ),
+    }
+
+
+@dataclass
+class MaterialLibrary:
+    """A named collection of :class:`IsotropicMaterial` objects.
+
+    The library maps *roles* (silicon, copper, liner, ...) to materials.  The
+    mesher tags every element with a role, and the FEM kernel looks the role
+    up here when computing element matrices, so swapping a material (e.g. a
+    polymer liner instead of SiO2) is a one-line change.
+    """
+
+    materials: dict[str, IsotropicMaterial] = field(default_factory=_default_materials)
+
+    @classmethod
+    def default(cls) -> "MaterialLibrary":
+        """Return the default Cu/Si/SiO2 + package material library."""
+        return cls()
+
+    def __contains__(self, role: str) -> bool:
+        return role in self.materials
+
+    def __getitem__(self, role: str) -> IsotropicMaterial:
+        try:
+            return self.materials[role]
+        except KeyError as exc:
+            raise KeyError(
+                f"material role {role!r} not found; available: {sorted(self.materials)}"
+            ) from exc
+
+    def get(self, role: str) -> IsotropicMaterial:
+        """Return the material registered under ``role``."""
+        return self[role]
+
+    def add(self, role: str, material: IsotropicMaterial) -> None:
+        """Register (or replace) the material for ``role``."""
+        self.materials[role] = material
+
+    def roles(self) -> list[str]:
+        """Return the sorted list of registered roles."""
+        return sorted(self.materials)
+
+    def subset(self, roles: list[str]) -> "MaterialLibrary":
+        """Return a library restricted to ``roles`` (missing roles raise)."""
+        return MaterialLibrary({role: self[role] for role in roles})
+
+
+@dataclass(frozen=True)
+class MaterialAssignment:
+    """Mapping from integer element tags to material roles.
+
+    Meshes store a compact integer tag per element; this class records what
+    each tag means so that meshes stay lightweight while the FEM kernel can
+    resolve tags to materials.
+    """
+
+    tag_to_role: tuple[tuple[int, str], ...]
+
+    @classmethod
+    def from_dict(cls, mapping: dict[int, str]) -> "MaterialAssignment":
+        """Build an assignment from a ``{tag: role}`` dictionary."""
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> dict[int, str]:
+        """Return the assignment as a ``{tag: role}`` dictionary."""
+        return dict(self.tag_to_role)
+
+    def role_of(self, tag: int) -> str:
+        """Return the role for an element tag."""
+        mapping = self.as_dict()
+        if tag not in mapping:
+            raise KeyError(f"element tag {tag} has no registered material role")
+        return mapping[tag]
+
+
+__all__ = [
+    "MaterialLibrary",
+    "MaterialAssignment",
+    "ROLE_SILICON",
+    "ROLE_COPPER",
+    "ROLE_LINER",
+    "ROLE_SUBSTRATE",
+    "ROLE_UNDERFILL",
+    "ROLE_SOLDER",
+]

@@ -1,0 +1,126 @@
+"""Isotropic linear thermo-elastic material model.
+
+The governing equation of the paper (Eq. 1) uses the Lamé parameters
+``lambda`` and ``mu`` together with the coefficient of thermal expansion
+``alpha``:
+
+.. math::
+
+    \\sigma(u) = \\lambda\\,\\mathrm{tr}(\\epsilon(u))\\,I + 2\\mu\\,\\epsilon(u)
+                 - \\alpha (3\\lambda + 2\\mu)\\, \\Delta T\\, I
+
+Materials are specified with the engineering constants (Young's modulus ``E``
+and Poisson's ratio ``nu``) and converted with the paper's Eq. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_non_negative, check_positive
+
+
+def lame_parameters(young_modulus: float, poisson_ratio: float) -> tuple[float, float]:
+    """Convert ``(E, nu)`` to the Lamé parameters ``(lambda, mu)`` (paper Eq. 2).
+
+    Parameters
+    ----------
+    young_modulus:
+        Young's modulus ``E`` (internal units: MPa).
+    poisson_ratio:
+        Poisson's ratio ``nu`` with ``-1 < nu < 0.5``.
+
+    Returns
+    -------
+    (lambda, mu)
+        First Lamé parameter and shear modulus in the same units as ``E``.
+    """
+    e = check_positive("young_modulus", young_modulus)
+    nu = check_in_range("poisson_ratio", poisson_ratio, -1.0, 0.5, inclusive=False)
+    lam = e * nu / (1.0 + nu) / (1.0 - 2.0 * nu)
+    mu = e / 2.0 / (1.0 + nu)
+    return lam, mu
+
+
+@dataclass(frozen=True)
+class IsotropicMaterial:
+    """An isotropic, temperature-independent thermo-elastic material.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (also used as the key in material maps).
+    young_modulus:
+        Young's modulus ``E`` in MPa.
+    poisson_ratio:
+        Poisson's ratio ``nu``.
+    cte:
+        Coefficient of thermal expansion ``alpha`` in 1/degC.
+    """
+
+    name: str
+    young_modulus: float
+    poisson_ratio: float
+    cte: float
+
+    def __post_init__(self) -> None:
+        check_positive("young_modulus", self.young_modulus)
+        check_in_range("poisson_ratio", self.poisson_ratio, -1.0, 0.5, inclusive=False)
+        check_non_negative("cte", self.cte)
+
+    @property
+    def lame_lambda(self) -> float:
+        """First Lamé parameter ``lambda``."""
+        return lame_parameters(self.young_modulus, self.poisson_ratio)[0]
+
+    @property
+    def lame_mu(self) -> float:
+        """Shear modulus ``mu`` (second Lamé parameter)."""
+        return lame_parameters(self.young_modulus, self.poisson_ratio)[1]
+
+    @property
+    def bulk_modulus(self) -> float:
+        """Bulk modulus ``K = lambda + 2/3 mu``."""
+        lam, mu = lame_parameters(self.young_modulus, self.poisson_ratio)
+        return lam + 2.0 * mu / 3.0
+
+    def elasticity_matrix(self) -> np.ndarray:
+        """Return the 6x6 isotropic elasticity matrix ``D`` in Voigt notation.
+
+        Voigt ordering is ``(xx, yy, zz, yz, xz, xy)`` with engineering shear
+        strains, so ``sigma = D @ (strain - thermal_strain)``.
+        """
+        lam, mu = lame_parameters(self.young_modulus, self.poisson_ratio)
+        d = np.zeros((6, 6), dtype=float)
+        d[:3, :3] = lam
+        d[0, 0] = d[1, 1] = d[2, 2] = lam + 2.0 * mu
+        d[3, 3] = d[4, 4] = d[5, 5] = mu
+        return d
+
+    def thermal_strain(self, delta_t: float) -> np.ndarray:
+        """Isotropic thermal strain vector for a temperature change ``delta_t``.
+
+        Returns the Voigt strain ``alpha * delta_t * [1, 1, 1, 0, 0, 0]``.
+        """
+        eps = np.zeros(6, dtype=float)
+        eps[:3] = self.cte * float(delta_t)
+        return eps
+
+    def thermal_stress_coefficient(self) -> float:
+        """Return ``alpha * (3*lambda + 2*mu)``, the hydrostatic thermal stress per degC."""
+        lam, mu = lame_parameters(self.young_modulus, self.poisson_ratio)
+        return self.cte * (3.0 * lam + 2.0 * mu)
+
+    def with_name(self, name: str) -> "IsotropicMaterial":
+        """Return a copy of this material under a different name."""
+        return IsotropicMaterial(
+            name=name,
+            young_modulus=self.young_modulus,
+            poisson_ratio=self.poisson_ratio,
+            cte=self.cte,
+        )
+
+
+__all__ = ["IsotropicMaterial", "lame_parameters"]

@@ -1,0 +1,54 @@
+"""Thermal load definitions.
+
+The thermal stress problem is driven by the uniform temperature difference
+``delta_t`` between the stress-free fabrication temperature (annealing /
+reflow, ~275 degC) and the operating/room temperature (~25 degC).  The paper
+uses ``delta_t = -250`` degC for all experiments; this module keeps the two
+temperatures explicit so that examples read like the physical scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThermalLoad:
+    """Uniform thermal load between a reference and a target temperature.
+
+    Attributes
+    ----------
+    reference_temperature:
+        Stress-free temperature in degC (e.g. the annealing temperature).
+    target_temperature:
+        Temperature at which the stress is evaluated, in degC.
+    """
+
+    reference_temperature: float = 275.0
+    target_temperature: float = 25.0
+
+    @property
+    def delta_t(self) -> float:
+        """Temperature change ``target - reference`` (negative for cool-down)."""
+        return float(self.target_temperature - self.reference_temperature)
+
+    @classmethod
+    def from_delta(cls, delta_t: float, reference_temperature: float = 275.0) -> "ThermalLoad":
+        """Create a load directly from a temperature difference."""
+        return cls(
+            reference_temperature=reference_temperature,
+            target_temperature=reference_temperature + float(delta_t),
+        )
+
+    @classmethod
+    def paper_default(cls) -> "ThermalLoad":
+        """The paper's fabrication cool-down: 275 degC -> 25 degC (delta_t = -250)."""
+        return cls(reference_temperature=275.0, target_temperature=25.0)
+
+    def scaled(self, factor: float) -> "ThermalLoad":
+        """Return a load with the temperature difference scaled by ``factor``."""
+        return ThermalLoad.from_delta(self.delta_t * float(factor),
+                                      self.reference_temperature)
+
+
+__all__ = ["ThermalLoad"]

@@ -1,0 +1,27 @@
+"""Structured hexahedral meshing of TSV unit blocks, arrays and packages."""
+
+from repro.mesh.structured import StructuredHexMesh
+from repro.mesh.grading import (
+    uniform_interval,
+    geometric_interval,
+    tsv_inplane_coordinates,
+)
+from repro.mesh.resolution import MeshResolution
+from repro.mesh.block_mesher import mesh_unit_block
+from repro.mesh.array_mesher import mesh_tsv_array
+from repro.mesh.quality import mesh_quality_report, MeshQualityReport
+from repro.mesh.mesh_io import save_mesh, load_mesh
+
+__all__ = [
+    "StructuredHexMesh",
+    "uniform_interval",
+    "geometric_interval",
+    "tsv_inplane_coordinates",
+    "MeshResolution",
+    "mesh_unit_block",
+    "mesh_tsv_array",
+    "mesh_quality_report",
+    "MeshQualityReport",
+    "save_mesh",
+    "load_mesh",
+]

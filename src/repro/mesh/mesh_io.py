@@ -1,0 +1,43 @@
+"""Saving and loading structured meshes.
+
+Meshes are persisted alongside reduced order models so that a ROM computed in
+one process (the one-shot local stage) can be reused for post-processing in
+another without rebuilding the mesh.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.structured import StructuredHexMesh
+from repro.utils.serialization import load_npz_bundle, save_npz_bundle
+
+
+def save_mesh(path: str | Path, mesh: StructuredHexMesh) -> Path:
+    """Persist a mesh to an ``.npz`` bundle and return the written path."""
+    arrays = {
+        "xs": mesh.xs,
+        "ys": mesh.ys,
+        "zs": mesh.zs,
+        "element_tags": mesh.element_tags,
+    }
+    metadata = {"tag_roles": {str(tag): role for tag, role in mesh.tag_roles.items()}}
+    return save_npz_bundle(path, arrays, metadata)
+
+
+def load_mesh(path: str | Path) -> StructuredHexMesh:
+    """Load a mesh previously written by :func:`save_mesh`."""
+    arrays, metadata = load_npz_bundle(path)
+    tag_roles = {int(tag): role for tag, role in metadata.get("tag_roles", {}).items()}
+    return StructuredHexMesh(
+        xs=np.asarray(arrays["xs"], dtype=float),
+        ys=np.asarray(arrays["ys"], dtype=float),
+        zs=np.asarray(arrays["zs"], dtype=float),
+        element_tags=np.asarray(arrays["element_tags"], dtype=np.int64),
+        tag_roles=tag_roles,
+    )
+
+
+__all__ = ["save_mesh", "load_mesh"]

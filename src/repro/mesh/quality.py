@@ -1,0 +1,71 @@
+"""Mesh quality metrics.
+
+Structured meshes cannot be tangled, but grading can create needle-like cells
+with poor aspect ratios that degrade FEM accuracy.  The quality report exposes
+the worst aspect ratio, the size range and the grading smoothness (ratio of
+adjacent cell sizes) so that resolution presets can be validated in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.structured import StructuredHexMesh
+
+
+@dataclass(frozen=True)
+class MeshQualityReport:
+    """Summary statistics of a structured mesh.
+
+    Attributes
+    ----------
+    max_aspect_ratio:
+        Largest ratio of the longest to the shortest edge over all elements.
+    min_cell_size, max_cell_size:
+        Smallest and largest edge length in the mesh.
+    max_growth_ratio:
+        Largest ratio between adjacent 1-D cell sizes along any axis.
+    num_elements, num_nodes:
+        Mesh sizes.
+    """
+
+    max_aspect_ratio: float
+    min_cell_size: float
+    max_cell_size: float
+    max_growth_ratio: float
+    num_elements: int
+    num_nodes: int
+
+    def is_acceptable(self, max_aspect: float = 50.0, max_growth: float = 3.0) -> bool:
+        """Whether the mesh satisfies loose engineering quality thresholds."""
+        return (
+            self.max_aspect_ratio <= max_aspect and self.max_growth_ratio <= max_growth
+        )
+
+
+def _max_growth(coords: np.ndarray) -> float:
+    sizes = np.diff(np.asarray(coords, dtype=float))
+    if sizes.size < 2:
+        return 1.0
+    ratios = sizes[1:] / sizes[:-1]
+    return float(np.max(np.maximum(ratios, 1.0 / ratios)))
+
+
+def mesh_quality_report(mesh: StructuredHexMesh) -> MeshQualityReport:
+    """Compute a :class:`MeshQualityReport` for a structured mesh."""
+    sizes = mesh.element_sizes()
+    aspect = sizes.max(axis=1) / sizes.min(axis=1)
+    growth = max(_max_growth(mesh.xs), _max_growth(mesh.ys), _max_growth(mesh.zs))
+    return MeshQualityReport(
+        max_aspect_ratio=float(aspect.max()),
+        min_cell_size=float(sizes.min()),
+        max_cell_size=float(sizes.max()),
+        max_growth_ratio=growth,
+        num_elements=mesh.num_elements,
+        num_nodes=mesh.num_nodes,
+    )
+
+
+__all__ = ["MeshQualityReport", "mesh_quality_report"]

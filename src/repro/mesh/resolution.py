@@ -1,0 +1,110 @@
+"""Mesh resolution presets for unit blocks.
+
+The paper meshes the unit block once (with Gmsh) in the one-shot local stage;
+the fidelity of that fine mesh controls how well the stress concentrations
+around the via are resolved.  A :class:`MeshResolution` collects the knobs of
+our graded structured mesher and provides named presets so that examples,
+tests and benchmarks can pick a consistent fidelity level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, check_positive_int
+
+_PRESETS = {
+    # name: (n_core, n_liner, n_outer, n_z, outer_ratio, z_refinement)
+    "tiny": (2, 1, 2, 3, 1.3, 1.0),
+    "coarse": (4, 1, 3, 6, 1.3, 1.0),
+    "medium": (6, 1, 4, 8, 1.35, 1.5),
+    "fine": (8, 2, 6, 12, 1.35, 2.0),
+    "paper": (10, 2, 8, 16, 1.3, 2.0),
+}
+
+
+@dataclass(frozen=True)
+class MeshResolution:
+    """Resolution parameters of the graded unit-block mesh.
+
+    Attributes
+    ----------
+    n_core:
+        Number of in-plane cells across the copper core diameter.
+    n_liner:
+        Number of in-plane cells across the liner thickness (per side).
+    n_outer:
+        Number of in-plane cells in the silicon band between the liner and the
+        cell boundary (per side).
+    n_z:
+        Number of cells through the TSV height.
+    outer_ratio:
+        Geometric grading ratio in the outer silicon band (cells grow away
+        from the via by this factor).
+    z_refinement:
+        Ratio of centre to end cell size along z (1.0 = uniform; larger values
+        refine towards the top/bottom surfaces where stress concentrates).
+    """
+
+    n_core: int = 4
+    n_liner: int = 1
+    n_outer: int = 3
+    n_z: int = 6
+    outer_ratio: float = 1.3
+    z_refinement: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("n_core", self.n_core)
+        check_positive_int("n_liner", self.n_liner)
+        check_positive_int("n_outer", self.n_outer)
+        check_positive_int("n_z", self.n_z)
+        check_positive("outer_ratio", self.outer_ratio)
+        check_positive("z_refinement", self.z_refinement)
+
+    @property
+    def inplane_cells(self) -> int:
+        """Number of cells along x (and y) of the unit-block mesh."""
+        return self.n_core + 2 * (self.n_liner + self.n_outer)
+
+    @property
+    def cells_per_block(self) -> int:
+        """Total number of hexahedral cells in one unit block."""
+        return self.inplane_cells**2 * self.n_z
+
+    @property
+    def dofs_per_block(self) -> int:
+        """Number of displacement DoFs of one unit-block fine mesh."""
+        n_inplane_nodes = self.inplane_cells + 1
+        return 3 * n_inplane_nodes * n_inplane_nodes * (self.n_z + 1)
+
+    @classmethod
+    def preset(cls, name: str) -> "MeshResolution":
+        """Return a named preset (``tiny``, ``coarse``, ``medium``, ``fine``, ``paper``)."""
+        if name not in _PRESETS:
+            raise KeyError(
+                f"unknown mesh resolution preset {name!r}; available: {sorted(_PRESETS)}"
+            )
+        n_core, n_liner, n_outer, n_z, outer_ratio, z_ref = _PRESETS[name]
+        return cls(
+            n_core=n_core,
+            n_liner=n_liner,
+            n_outer=n_outer,
+            n_z=n_z,
+            outer_ratio=outer_ratio,
+            z_refinement=z_ref,
+        )
+
+    @classmethod
+    def from_spec(cls, spec: "str | MeshResolution") -> "MeshResolution":
+        """Coerce a preset name or an existing resolution into a resolution."""
+        if isinstance(spec, MeshResolution):
+            return spec
+        return cls.preset(spec)
+
+    @classmethod
+    def preset_names(cls) -> list[str]:
+        """Return the available preset names."""
+        return sorted(_PRESETS)
+
+
+__all__ = ["MeshResolution"]

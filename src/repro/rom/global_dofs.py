@@ -1,0 +1,161 @@
+"""Global numbering of the reduced DoFs of a TSV array (paper §4.3, Fig. 4).
+
+In the global stage every unit block becomes an abstract "element" whose DoFs
+are the displacements of its surface interpolation nodes.  Interpolation nodes
+on the face shared by two adjacent blocks coincide and must receive the same
+global number — that sharing is what couples neighbouring blocks and what the
+linear superposition method ignores.
+
+The :class:`GlobalDofManager` assigns global indices to the union of all
+blocks' surface nodes, provides the per-block gather map used by the standard
+assembly procedure, and classifies global nodes (bottom/top faces, lateral
+outer boundary) so boundary conditions can be applied by location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.array_layout import TSVArrayLayout
+from repro.rom.interpolation import InterpolationScheme
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class GlobalDofManager:
+    """Numbering of global interpolation nodes and reduced DoFs for one layout.
+
+    Attributes
+    ----------
+    layout:
+        The TSV array layout (defines block positions and the global origin).
+    scheme:
+        The interpolation scheme shared by all blocks of the layout.
+    """
+
+    layout: TSVArrayLayout
+    scheme: InterpolationScheme
+    _node_index: dict[tuple[int, int, int], int] = field(init=False, repr=False)
+    _node_keys: np.ndarray = field(init=False, repr=False)
+    _block_maps: dict[tuple[int, int], np.ndarray] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        nx, ny, nz = self.scheme.nodes_per_axis
+        surface_indices = self.scheme.surface_node_indices()
+        node_index: dict[tuple[int, int, int], int] = {}
+        block_maps: dict[tuple[int, int], np.ndarray] = {}
+        for row in range(self.layout.rows):
+            for col in range(self.layout.cols):
+                keys_i = surface_indices[:, 0] + col * (nx - 1)
+                keys_j = surface_indices[:, 1] + row * (ny - 1)
+                keys_k = surface_indices[:, 2]
+                node_ids = np.empty(surface_indices.shape[0], dtype=np.int64)
+                for local, key in enumerate(zip(keys_i, keys_j, keys_k)):
+                    key = (int(key[0]), int(key[1]), int(key[2]))
+                    if key not in node_index:
+                        node_index[key] = len(node_index)
+                    node_ids[local] = node_index[key]
+                block_maps[(row, col)] = node_ids
+        self._node_index = node_index
+        self._node_keys = np.asarray(list(node_index.keys()), dtype=np.int64)
+        self._block_maps = block_maps
+
+    # ------------------------------------------------------------------ #
+    # sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_global_nodes(self) -> int:
+        """Number of distinct global interpolation nodes."""
+        return len(self._node_index)
+
+    @property
+    def num_global_dofs(self) -> int:
+        """Number of global reduced DoFs (3 per global node)."""
+        return 3 * self.num_global_nodes
+
+    @property
+    def dofs_per_block(self) -> int:
+        """Reduced DoFs per block (``n`` of paper Eq. 16)."""
+        return self.scheme.num_element_dofs
+
+    # ------------------------------------------------------------------ #
+    # gather maps
+    # ------------------------------------------------------------------ #
+    def block_node_ids(self, row: int, col: int) -> np.ndarray:
+        """Global node ids of a block's surface nodes (canonical local order)."""
+        try:
+            return self._block_maps[(row, col)]
+        except KeyError as exc:
+            raise ValidationError(f"block ({row}, {col}) outside the layout") from exc
+
+    def block_dof_ids(self, row: int, col: int) -> np.ndarray:
+        """Global DoF ids of a block, node-major / component-minor order.
+
+        This ordering matches the column ordering of the ROM basis and the
+        abstract element matrices, so assembly is a plain gather-scatter.
+        """
+        nodes = self.block_node_ids(row, col)
+        dofs = np.empty(3 * nodes.size, dtype=np.int64)
+        dofs[0::3] = 3 * nodes
+        dofs[1::3] = 3 * nodes + 1
+        dofs[2::3] = 3 * nodes + 2
+        return dofs
+
+    # ------------------------------------------------------------------ #
+    # node geometry and classification
+    # ------------------------------------------------------------------ #
+    def node_positions(self) -> np.ndarray:
+        """Global coordinates of every global interpolation node, shape ``(N, 3)``."""
+        nx, ny, nz = self.scheme.nodes_per_axis
+        pitch = self.layout.tsv.pitch
+        height = self.layout.tsv.height
+        origin_x, origin_y, origin_z = self.layout.origin
+        keys = self._node_keys
+        positions = np.empty((keys.shape[0], 3), dtype=float)
+        positions[:, 0] = origin_x + keys[:, 0] * (pitch / (nx - 1))
+        positions[:, 1] = origin_y + keys[:, 1] * (pitch / (ny - 1))
+        positions[:, 2] = origin_z + keys[:, 2] * (height / (nz - 1))
+        return positions
+
+    def bottom_node_ids(self) -> np.ndarray:
+        """Ids of global nodes on the bottom face (z = origin_z)."""
+        return np.nonzero(self._node_keys[:, 2] == 0)[0]
+
+    def top_node_ids(self) -> np.ndarray:
+        """Ids of global nodes on the top face (z = origin_z + height)."""
+        nz = self.scheme.nodes_per_axis[2]
+        return np.nonzero(self._node_keys[:, 2] == nz - 1)[0]
+
+    def lateral_node_ids(self) -> np.ndarray:
+        """Ids of global nodes on the outer lateral boundary of the layout."""
+        nx, ny, _ = self.scheme.nodes_per_axis
+        max_i = self.layout.cols * (nx - 1)
+        max_j = self.layout.rows * (ny - 1)
+        keys = self._node_keys
+        mask = (
+            (keys[:, 0] == 0)
+            | (keys[:, 0] == max_i)
+            | (keys[:, 1] == 0)
+            | (keys[:, 1] == max_j)
+        )
+        return np.nonzero(mask)[0]
+
+    def outer_boundary_node_ids(self) -> np.ndarray:
+        """Ids of nodes on any outer face of the layout (lateral, top or bottom)."""
+        return np.unique(
+            np.concatenate(
+                [self.bottom_node_ids(), self.top_node_ids(), self.lateral_node_ids()]
+            )
+        )
+
+    def node_dof_ids(self, node_ids: np.ndarray) -> np.ndarray:
+        """Expand global node ids into their 3 displacement DoF ids (sorted)."""
+        node_ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        return np.sort(
+            np.concatenate([3 * node_ids, 3 * node_ids + 1, 3 * node_ids + 2])
+        )
+
+
+__all__ = ["GlobalDofManager"]

@@ -1,0 +1,347 @@
+"""The global stage of MORE-Stress (paper §4.3, Fig. 4).
+
+Given the reduced order models of the block kinds present in a layout, the
+global stage assembles the array-level "abstract" finite element problem:
+
+* every block contributes its dense abstract element stiffness matrix and
+  thermal load vector (paper Eq. 18-19),
+* contributions are scattered into the sparse global system through the
+  standard assembly procedure using the shared global interpolation-node
+  numbering (:class:`~repro.rom.global_dofs.GlobalDofManager`),
+* Dirichlet conditions (clamped surfaces or sub-model boundary displacements)
+  are applied by lifting, and
+* the system is solved with GMRES (the paper's choice) or a direct
+  factorisation.
+
+The resulting :class:`GlobalSolution` reconstructs displacement and stress
+fields inside any block from the local basis functions (Eq. 15).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.boundary import DirichletBC, lift_system
+from repro.fem.solver import LinearSolver, SolveStats, SolverOptions
+from repro.geometry.array_layout import BlockKind, TSVArrayLayout
+from repro.materials.library import MaterialLibrary
+from repro.rom.global_dofs import GlobalDofManager
+from repro.rom.reconstruction import BlockFieldSampler, block_midplane_points
+from repro.rom.rom_model import ReducedOrderModel
+from repro.utils.logging import get_logger
+from repro.utils.timing import StageTimings
+from repro.utils.validation import ValidationError
+
+_logger = get_logger("rom.global_stage")
+
+
+def _check_rom_consistency(roms: dict[BlockKind, ReducedOrderModel], layout: TSVArrayLayout) -> None:
+    kinds_present = {kind for _, _, kind in layout.iter_blocks()}
+    missing = kinds_present - set(roms)
+    if missing:
+        raise ValidationError(
+            f"layout contains block kinds {sorted(k.value for k in missing)} "
+            "with no reduced order model provided"
+        )
+    schemes = {rom.scheme.nodes_per_axis for rom in roms.values()}
+    if len(schemes) > 1:
+        raise ValidationError("all ROMs must share the same interpolation scheme")
+    pitches = {rom.block.tsv.pitch for rom in roms.values()}
+    if len(pitches) > 1 or abs(pitches.pop() - layout.tsv.pitch) > 1e-9:
+        raise ValidationError("ROM pitch does not match the layout pitch")
+
+
+@dataclass
+class GlobalStage:
+    """Assembles and solves the reduced array-level problem.
+
+    Parameters
+    ----------
+    roms:
+        Mapping from :class:`BlockKind` to the reduced order model to use for
+        blocks of that kind (a dummy ROM is only needed if the layout contains
+        dummy blocks).
+    materials:
+        Material library (used for stress reconstruction).
+    solver_options:
+        Options of the global linear solve.  The default follows the paper
+        and uses GMRES; ``"direct"`` is also supported.
+    """
+
+    roms: dict[BlockKind, ReducedOrderModel]
+    materials: MaterialLibrary
+    solver_options: SolverOptions = field(
+        default_factory=lambda: SolverOptions(method="gmres", rtol=1e-9)
+    )
+
+    # ------------------------------------------------------------------ #
+    # assembly
+    # ------------------------------------------------------------------ #
+    def assemble(
+        self, layout: TSVArrayLayout, delta_t: float
+    ) -> tuple[sp.csr_matrix, np.ndarray, GlobalDofManager]:
+        """Assemble the global stiffness matrix and load vector of a layout."""
+        _check_rom_consistency(self.roms, layout)
+        manager = GlobalDofManager(layout, next(iter(self.roms.values())).scheme)
+        n = manager.dofs_per_block
+        num_dofs = manager.num_global_dofs
+
+        rows_list: list[np.ndarray] = []
+        cols_list: list[np.ndarray] = []
+        data_list: list[np.ndarray] = []
+        rhs = np.zeros(num_dofs, dtype=float)
+
+        element_rhs = {
+            kind: rom.element_rhs(delta_t) for kind, rom in self.roms.items()
+        }
+        element_stiffness = {
+            kind: rom.element_stiffness for kind, rom in self.roms.items()
+        }
+
+        for row, col, kind in layout.iter_blocks():
+            dofs = manager.block_dof_ids(row, col)
+            rows_list.append(np.repeat(dofs, n))
+            cols_list.append(np.tile(dofs, n))
+            data_list.append(element_stiffness[kind].ravel())
+            np.add.at(rhs, dofs, element_rhs[kind])
+
+        matrix = sp.coo_matrix(
+            (
+                np.concatenate(data_list),
+                (np.concatenate(rows_list), np.concatenate(cols_list)),
+            ),
+            shape=(num_dofs, num_dofs),
+        ).tocsr()
+        matrix.sum_duplicates()
+        return matrix, rhs, manager
+
+    # ------------------------------------------------------------------ #
+    # boundary conditions
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def clamped_top_bottom_bc(manager: GlobalDofManager) -> DirichletBC:
+        """Clamp the top and bottom faces of the array (first paper scenario)."""
+        nodes = np.unique(
+            np.concatenate([manager.bottom_node_ids(), manager.top_node_ids()])
+        )
+        return DirichletBC.fixed(manager.node_dof_ids(nodes))
+
+    @staticmethod
+    def prescribed_boundary_bc(
+        manager: GlobalDofManager, displacement_field
+    ) -> DirichletBC:
+        """Prescribe displacements on the whole outer boundary of the layout.
+
+        ``displacement_field`` is a callable mapping an ``(m, 3)`` array of
+        global coordinates to an ``(m, 3)`` array of displacements (typically
+        the coarse package solution used for sub-modeling, paper §4.4).
+        """
+        nodes = manager.outer_boundary_node_ids()
+        positions = manager.node_positions()[nodes]
+        values = np.asarray(displacement_field(positions), dtype=float)
+        if values.shape != positions.shape:
+            raise ValidationError(
+                f"displacement field returned shape {values.shape}, "
+                f"expected {positions.shape}"
+            )
+        dofs = np.empty(3 * nodes.size, dtype=np.int64)
+        prescribed = np.empty(3 * nodes.size, dtype=float)
+        dofs[0::3] = 3 * nodes
+        dofs[1::3] = 3 * nodes + 1
+        dofs[2::3] = 3 * nodes + 2
+        prescribed[0::3] = values[:, 0]
+        prescribed[1::3] = values[:, 1]
+        prescribed[2::3] = values[:, 2]
+        return DirichletBC(dofs=dofs, values=prescribed)
+
+    # ------------------------------------------------------------------ #
+    # solve
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        layout: TSVArrayLayout,
+        delta_t: float,
+        boundary_condition: DirichletBC | str = "clamped",
+        displacement_field=None,
+    ) -> "GlobalSolution":
+        """Assemble and solve the global problem of a layout.
+
+        Parameters
+        ----------
+        layout:
+            The TSV array layout to analyse.
+        delta_t:
+            Thermal load (degC difference from the stress-free temperature).
+        boundary_condition:
+            ``"clamped"`` (top/bottom clamped, first paper scenario),
+            ``"submodel"`` (displacements from ``displacement_field`` applied
+            to the whole outer boundary, paper §4.4) or an explicit
+            :class:`DirichletBC` in global reduced-DoF numbering.
+        displacement_field:
+            Required for ``"submodel"``: callable mapping global coordinates
+            to displacements.
+        """
+        timings = StageTimings()
+        with timings.measure("assembly"):
+            matrix, rhs, manager = self.assemble(layout, delta_t)
+
+        with timings.measure("boundary_conditions"):
+            if isinstance(boundary_condition, DirichletBC):
+                bc = boundary_condition
+            elif boundary_condition == "clamped":
+                bc = self.clamped_top_bottom_bc(manager)
+            elif boundary_condition == "submodel":
+                if displacement_field is None:
+                    raise ValidationError(
+                        "displacement_field is required for the 'submodel' BC"
+                    )
+                bc = self.prescribed_boundary_bc(manager, displacement_field)
+            else:
+                raise ValidationError(
+                    "boundary_condition must be 'clamped', 'submodel' or a DirichletBC"
+                )
+            lifted_matrix, lifted_rhs = lift_system(matrix, rhs, bc)
+
+        solver = LinearSolver(self.solver_options)
+        start = time.perf_counter()
+        solution = solver.solve(lifted_matrix, lifted_rhs)
+        timings.add("solve", time.perf_counter() - start)
+
+        _logger.info(
+            "global stage: %dx%d blocks, %d reduced dofs, solve=%.3fs (%s)",
+            layout.rows,
+            layout.cols,
+            manager.num_global_dofs,
+            timings.get("solve"),
+            self.solver_options.method,
+        )
+        return GlobalSolution(
+            layout=layout,
+            roms=self.roms,
+            materials=self.materials,
+            manager=manager,
+            nodal_displacement=solution,
+            delta_t=float(delta_t),
+            timings=timings,
+            solver_stats=solver.last_stats,
+        )
+
+
+@dataclass
+class GlobalSolution:
+    """Solution of the global stage plus field reconstruction helpers.
+
+    Attributes
+    ----------
+    layout, roms, materials, manager:
+        The inputs of the solve (kept for reconstruction).
+    nodal_displacement:
+        Global reduced DoF vector (displacements of the interpolation nodes).
+    delta_t:
+        The thermal load of this solution.
+    timings, solver_stats:
+        Performance diagnostics of the global stage.
+    """
+
+    layout: TSVArrayLayout
+    roms: dict[BlockKind, ReducedOrderModel]
+    materials: MaterialLibrary
+    manager: GlobalDofManager
+    nodal_displacement: np.ndarray
+    delta_t: float
+    timings: StageTimings
+    solver_stats: SolveStats | None = None
+    _samplers: dict[tuple[BlockKind, int], BlockFieldSampler] = field(
+        default_factory=dict, repr=False
+    )
+
+    # ------------------------------------------------------------------ #
+    # block-level reconstruction
+    # ------------------------------------------------------------------ #
+    def block_reduced_displacement(self, row: int, col: int) -> np.ndarray:
+        """Reduced DoF values of one block (length ``n``)."""
+        dofs = self.manager.block_dof_ids(row, col)
+        return self.nodal_displacement[dofs]
+
+    def block_fine_displacement(self, row: int, col: int) -> np.ndarray:
+        """Fine-mesh displacement of one block, block-local coordinates (Eq. 15)."""
+        kind = self.layout.kind_at(row, col)
+        rom = self.roms[kind]
+        return rom.reconstruct_displacement(
+            self.block_reduced_displacement(row, col), self.delta_t
+        )
+
+    def _sampler(self, kind: BlockKind, points_per_block: int) -> BlockFieldSampler:
+        key = (kind, points_per_block)
+        if key not in self._samplers:
+            rom = self.roms[kind]
+            points = block_midplane_points(rom, points_per_block)
+            self._samplers[key] = BlockFieldSampler(rom, self.materials, points)
+        return self._samplers[key]
+
+    # ------------------------------------------------------------------ #
+    # array-level results
+    # ------------------------------------------------------------------ #
+    def von_mises_midplane(
+        self, points_per_block: int = 30, restrict_to_tsv_region: bool = True
+    ) -> np.ndarray:
+        """Gridded von Mises stress on the half-height plane (paper §5.2).
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(rows, cols, p, p)`` where ``p`` is
+            ``points_per_block`` and ``(rows, cols)`` covers either the whole
+            layout or only the bounding box of TSV blocks.
+        """
+        if restrict_to_tsv_region:
+            region = self.layout.tsv_region()
+            row_range, col_range = (
+                region if region is not None else (slice(0, self.layout.rows), slice(0, self.layout.cols))
+            )
+        else:
+            row_range, col_range = slice(0, self.layout.rows), slice(0, self.layout.cols)
+        rows = range(*row_range.indices(self.layout.rows))
+        cols = range(*col_range.indices(self.layout.cols))
+        result = np.empty(
+            (len(rows), len(cols), points_per_block, points_per_block), dtype=float
+        )
+        for out_row, row in enumerate(rows):
+            for out_col, col in enumerate(cols):
+                kind = self.layout.kind_at(row, col)
+                sampler = self._sampler(kind, points_per_block)
+                values = sampler.von_mises(
+                    self.block_reduced_displacement(row, col), self.delta_t
+                )
+                result[out_row, out_col] = values.reshape(
+                    points_per_block, points_per_block
+                )
+        return result
+
+    def von_mises_midplane_flat(
+        self, points_per_block: int = 30, restrict_to_tsv_region: bool = True
+    ) -> np.ndarray:
+        """Mid-plane von Mises stress flattened in the reference sampler's order."""
+        blocks = self.von_mises_midplane(points_per_block, restrict_to_tsv_region)
+        return blocks.reshape(-1)
+
+    def max_von_mises(self, points_per_block: int = 30) -> float:
+        """Maximum sampled von Mises stress over the TSV region."""
+        return float(self.von_mises_midplane(points_per_block).max())
+
+    def max_displacement(self) -> float:
+        """Largest interpolation-node displacement magnitude."""
+        u = self.nodal_displacement.reshape(-1, 3)
+        return float(np.linalg.norm(u, axis=1).max())
+
+    @property
+    def num_global_dofs(self) -> int:
+        """Size of the global reduced system."""
+        return self.manager.num_global_dofs
+
+
+__all__ = ["GlobalStage", "GlobalSolution"]

@@ -1,0 +1,212 @@
+"""Lagrange interpolation of the unit-block boundary displacement (paper §4.2).
+
+The model order reduction rests on approximating the displacement on the
+*surface* of a unit block by Lagrange interpolation on a small grid of
+equally spaced nodes (paper Eq. 8-10).  The classes here
+
+* place the ``(nx, ny, nz)`` interpolation nodes on a block,
+* enumerate the *surface* nodes (the interior ones never enter the reduced
+  model, Eq. 16),
+* evaluate the tensor-product Lagrange basis at arbitrary points, and
+* build the matrix ``L`` that maps interpolation-node displacements to the
+  displacements of the fine-mesh boundary nodes (the matrix appearing in
+  Eq. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_positive, check_positive_int
+
+
+def lagrange_1d_values(points: np.ndarray, node_positions: np.ndarray) -> np.ndarray:
+    """Evaluate all 1-D Lagrange basis polynomials at the given points.
+
+    Parameters
+    ----------
+    points:
+        Evaluation coordinates, shape ``(p,)``.
+    node_positions:
+        Interpolation node coordinates, shape ``(m,)`` (distinct values).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array ``V`` of shape ``(p, m)`` with ``V[a, i] = L_i(points[a])``
+        (paper Eq. 9).
+    """
+    points = np.asarray(points, dtype=float).ravel()
+    nodes = np.asarray(node_positions, dtype=float).ravel()
+    if nodes.size < 1:
+        raise ValidationError("at least one interpolation node is required")
+    if np.unique(nodes).size != nodes.size:
+        raise ValidationError("interpolation nodes must be distinct")
+    if nodes.size == 1:
+        return np.ones((points.size, 1))
+    values = np.ones((points.size, nodes.size), dtype=float)
+    for i, node_i in enumerate(nodes):
+        for j, node_j in enumerate(nodes):
+            if i == j:
+                continue
+            values[:, i] *= (points - node_j) / (node_i - node_j)
+    return values
+
+
+@dataclass(frozen=True)
+class InterpolationScheme:
+    """The Lagrange interpolation node layout of a unit block.
+
+    Attributes
+    ----------
+    nodes_per_axis:
+        ``(nx, ny, nz)`` numbers of equally spaced nodes along each axis
+        (paper notation).  Each must be at least 2 so the block corners are
+        always interpolation nodes.
+    """
+
+    nodes_per_axis: tuple[int, int, int] = (4, 4, 4)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes_per_axis) != 3:
+            raise ValidationError("nodes_per_axis must have three entries")
+        for n in self.nodes_per_axis:
+            check_positive_int("nodes_per_axis entry", n, minimum=2)
+
+    # ------------------------------------------------------------------ #
+    # counting (paper Eq. 16)
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes_total(self) -> int:
+        """Total number of interpolation nodes, including interior ones."""
+        nx, ny, nz = self.nodes_per_axis
+        return nx * ny * nz
+
+    @property
+    def num_surface_nodes(self) -> int:
+        """Number of interpolation nodes on the block surface."""
+        nx, ny, nz = self.nodes_per_axis
+        interior = max(nx - 2, 0) * max(ny - 2, 0) * max(nz - 2, 0)
+        return nx * ny * nz - interior
+
+    @property
+    def num_element_dofs(self) -> int:
+        """Number of reduced DoFs per unit block, ``n`` of paper Eq. 16."""
+        return 3 * self.num_surface_nodes
+
+    # ------------------------------------------------------------------ #
+    # node placement
+    # ------------------------------------------------------------------ #
+    def axis_positions(self, dimensions: tuple[float, float, float]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Equally spaced node coordinates along each axis of a block.
+
+        ``dimensions`` is the physical block size ``(size_x, size_y, size_z)``.
+        """
+        sizes = tuple(check_positive("dimension", d) for d in dimensions)
+        nx, ny, nz = self.nodes_per_axis
+        return (
+            np.linspace(0.0, sizes[0], nx),
+            np.linspace(0.0, sizes[1], ny),
+            np.linspace(0.0, sizes[2], nz),
+        )
+
+    def surface_node_indices(self) -> np.ndarray:
+        """Grid indices ``(i, j, k)`` of the surface nodes, shape ``(ns, 3)``.
+
+        The ordering (i fastest, then j, then k) is the canonical ordering of
+        the reduced element DoFs used everywhere in the package: local basis
+        columns, element matrices and global DoF maps all follow it.
+        """
+        nx, ny, nz = self.nodes_per_axis
+        indices = []
+        for k in range(nz):
+            for j in range(ny):
+                for i in range(nx):
+                    on_surface = (
+                        i in (0, nx - 1) or j in (0, ny - 1) or k in (0, nz - 1)
+                    )
+                    if on_surface:
+                        indices.append((i, j, k))
+        return np.asarray(indices, dtype=np.int64)
+
+    def surface_node_positions(self, dimensions: tuple[float, float, float]) -> np.ndarray:
+        """Physical block-local coordinates of the surface nodes, shape ``(ns, 3)``."""
+        xs, ys, zs = self.axis_positions(dimensions)
+        indices = self.surface_node_indices()
+        return np.column_stack(
+            [xs[indices[:, 0]], ys[indices[:, 1]], zs[indices[:, 2]]]
+        )
+
+    # ------------------------------------------------------------------ #
+    # basis evaluation
+    # ------------------------------------------------------------------ #
+    def basis_at_points(
+        self, points: np.ndarray, dimensions: tuple[float, float, float]
+    ) -> np.ndarray:
+        """Evaluate the surface Lagrange basis at block-local points.
+
+        Parameters
+        ----------
+        points:
+            Block-local coordinates, shape ``(p, 3)``.
+        dimensions:
+            Physical block size.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(p, ns)`` whose column ``m`` is the 3-D Lagrange
+            function of surface node ``m`` (paper Eq. 8) evaluated at the
+            points.  For points lying on the block surface this reproduces
+            the boundary interpolation of Eq. 10 exactly (interior nodes do
+            not contribute on the surface).
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != 3:
+            raise ValidationError(f"points must have shape (p, 3), got {points.shape}")
+        xs, ys, zs = self.axis_positions(dimensions)
+        vx = lagrange_1d_values(points[:, 0], xs)
+        vy = lagrange_1d_values(points[:, 1], ys)
+        vz = lagrange_1d_values(points[:, 2], zs)
+        indices = self.surface_node_indices()
+        return vx[:, indices[:, 0]] * vy[:, indices[:, 1]] * vz[:, indices[:, 2]]
+
+    def boundary_interpolation_matrix(
+        self,
+        boundary_points: np.ndarray,
+        dimensions: tuple[float, float, float],
+    ) -> np.ndarray:
+        """The per-DoF interpolation matrix ``L`` of paper Eq. 14.
+
+        Parameters
+        ----------
+        boundary_points:
+            Block-local coordinates of the fine-mesh boundary nodes, in the
+            exact row order in which their DoFs appear in the constrained
+            system, shape ``(nb, 3)``.
+        dimensions:
+            Physical block size.
+
+        Returns
+        -------
+        numpy.ndarray
+            Matrix of shape ``(3 * nb, 3 * ns)`` mapping the surface-node
+            displacement DoFs (ordered node-major, component-minor, matching
+            :meth:`surface_node_indices`) to the fine-mesh boundary DoFs
+            (ordered point-major, component-minor).
+        """
+        node_basis = self.basis_at_points(boundary_points, dimensions)  # (nb, ns)
+        nb, ns = node_basis.shape
+        matrix = np.zeros((3 * nb, 3 * ns), dtype=float)
+        for component in range(3):
+            matrix[component::3, component::3] = node_basis
+        return matrix
+
+    def describe(self) -> str:
+        """Short human-readable description, e.g. ``"(4, 4, 4) -> n = 168"``."""
+        return f"{self.nodes_per_axis} -> n = {self.num_element_dofs}"
+
+
+__all__ = ["InterpolationScheme", "lagrange_1d_values"]

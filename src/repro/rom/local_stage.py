@@ -1,0 +1,184 @@
+"""The one-shot local stage of MORE-Stress (paper §4.2, Fig. 3).
+
+For one unit block kind the local stage:
+
+1. meshes the block finely and assembles its stiffness matrix ``A_local``
+   and unit thermal load ``b_local``;
+2. places the Lagrange interpolation nodes on the block surface and builds
+   the interpolation matrix ``L`` from the interpolation DoFs to the
+   fine-mesh boundary DoFs (Eq. 14);
+3. factorises the free-free block ``A_ff`` **once** and back-substitutes one
+   right-hand side per interpolation DoF (boundary displacement = one
+   Lagrange function, ``delta_t = 0``) plus one thermal right-hand side
+   (``delta_t = 1``, zero boundary), yielding the local basis functions
+   ``f_i`` and ``f_T`` (Eq. 15);
+4. projects ``A_local`` and ``b_local`` onto the basis to obtain the dense
+   abstract-element stiffness matrix and load vector (Eq. 18-19).
+
+The result is a :class:`~repro.rom.rom_model.ReducedOrderModel`, which the
+global stage reuses for every block of every array built from this unit
+block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fem.assembly import assemble_stiffness, assemble_thermal_load
+from repro.fem.boundary import DirichletBC, split_system
+from repro.fem.elasticity import material_arrays_for_mesh
+from repro.fem.solver import FactorizedOperator
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import MaterialLibrary
+from repro.mesh.block_mesher import mesh_unit_block
+from repro.mesh.resolution import MeshResolution
+from repro.rom.interpolation import InterpolationScheme
+from repro.rom.rom_model import ReducedOrderModel
+from repro.utils.logging import get_logger
+from repro.utils.timing import StageTimings
+
+_logger = get_logger("rom.local_stage")
+
+
+@dataclass
+class LocalStage:
+    """Builder of unit-block reduced order models.
+
+    Parameters
+    ----------
+    materials:
+        Material library used to resolve the block's material roles.
+    resolution:
+        Fine-mesh resolution of the unit block (preset name or
+        :class:`~repro.mesh.resolution.MeshResolution`).
+    scheme:
+        Lagrange interpolation scheme defining the reduced DoFs.
+    rhs_batch_size:
+        Number of local problems back-substituted per batch (memory knob;
+        the factorisation itself is always reused, matching the paper's
+        "decompose once, reuse for all local problems").
+    """
+
+    materials: MaterialLibrary
+    resolution: MeshResolution | str = "coarse"
+    scheme: InterpolationScheme = InterpolationScheme((4, 4, 4))
+    rhs_batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        self.resolution = MeshResolution.from_spec(self.resolution)
+        if isinstance(self.scheme, tuple):
+            self.scheme = InterpolationScheme(self.scheme)
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def build(self, block: UnitBlockGeometry) -> ReducedOrderModel:
+        """Run the local stage for one unit block and return its ROM."""
+        start = time.perf_counter()
+        timings = StageTimings()
+
+        with timings.measure("mesh"):
+            mesh = mesh_unit_block(block, self.resolution)
+            material_data = material_arrays_for_mesh(mesh, self.materials)
+
+        with timings.measure("assembly"):
+            a_local = assemble_stiffness(mesh, self.materials, material_data)
+            b_local = assemble_thermal_load(mesh, self.materials, material_data)
+
+        with timings.measure("interpolation"):
+            boundary_nodes = mesh.all_boundary_node_ids()
+            bc = DirichletBC.fixed(mesh.dof_ids(boundary_nodes))
+            split = split_system(a_local, bc)
+            interpolation_matrix = self._interpolation_matrix(block, mesh, split)
+
+        with timings.measure("local_solves"):
+            basis = self._solve_local_problems(
+                a_local, b_local, split, interpolation_matrix
+            )
+
+        with timings.measure("projection"):
+            projected_stiffness = basis.T @ (a_local @ basis)
+            projected_load = basis.T @ b_local
+
+        n = self.scheme.num_element_dofs
+        elapsed = time.perf_counter() - start
+        _logger.info(
+            "local stage: block=%s n=%d fine_dofs=%d elapsed=%.2fs (%s)",
+            "tsv" if block.has_tsv else "dummy",
+            n,
+            mesh.num_dofs,
+            elapsed,
+            ", ".join(f"{k}={v:.2f}s" for k, v in timings.stages.items()),
+        )
+        return ReducedOrderModel(
+            block=block,
+            scheme=self.scheme,
+            resolution=self.resolution,
+            mesh=mesh,
+            basis=basis,
+            element_stiffness=0.5 * (projected_stiffness[:n, :n] + projected_stiffness[:n, :n].T),
+            element_load=projected_load[:n],
+            thermal_coupling=projected_stiffness[:n, n],
+            local_stage_seconds=elapsed,
+        )
+
+    def build_pair(
+        self, block: UnitBlockGeometry
+    ) -> tuple[ReducedOrderModel, ReducedOrderModel]:
+        """Build the ROMs of a TSV block and of its dummy counterpart.
+
+        Sub-modeling needs both (paper §4.4); building them together reuses
+        the configuration and mirrors the paper's extra dummy local stage.
+        """
+        return self.build(block), self.build(block.as_dummy())
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _interpolation_matrix(self, block, mesh, split) -> np.ndarray:
+        """Build ``L`` mapping reduced DoFs to fine-mesh boundary DoFs."""
+        coords = mesh.node_coordinates()
+        constrained_dofs = split.constrained_dofs
+        constrained_nodes = constrained_dofs[::3] // 3
+        boundary_points = coords[constrained_nodes]
+        # The constrained DoFs are sorted, therefore grouped per node in
+        # (x, y, z) component order, which is exactly the ordering
+        # boundary_interpolation_matrix produces rows in.
+        return self.scheme.boundary_interpolation_matrix(
+            boundary_points, block.dimensions
+        )
+
+    def _solve_local_problems(
+        self, a_local, b_local, split, interpolation_matrix
+    ) -> np.ndarray:
+        """Solve all local Dirichlet problems with one factorisation.
+
+        Returns the basis matrix of shape ``(num_fine_dofs, n + 1)``.
+        """
+        n = self.scheme.num_element_dofs
+        num_dofs = a_local.shape[0]
+        basis = np.zeros((num_dofs, n + 1), dtype=float)
+
+        operator = FactorizedOperator(split.a_ff)
+
+        # Displacement basis functions f_i: boundary displacement equal to one
+        # Lagrange interpolation function, delta_t = 0 (paper Eq. 14).
+        batch = max(1, int(self.rhs_batch_size))
+        for start in range(0, n, batch):
+            stop = min(start + batch, n)
+            boundary_block = interpolation_matrix[:, start:stop]
+            rhs = -split.a_fb @ boundary_block
+            free_block = operator.solve(rhs)
+            basis[split.free_dofs, start:stop] = free_block
+            basis[split.constrained_dofs, start:stop] = boundary_block
+
+        # Thermal basis function f_T: delta_t = 1, zero boundary displacement.
+        rhs_thermal = np.asarray(b_local, dtype=float)[split.free_dofs]
+        basis[split.free_dofs, n] = operator.solve(rhs_thermal)
+        return basis
+
+
+__all__ = ["LocalStage"]

@@ -1,0 +1,221 @@
+"""High-level MORE-Stress workflow.
+
+:class:`MoreStressSimulator` ties the one-shot local stage and the global
+stage together behind a small API: configure the TSV technology once, then
+simulate arrays of arbitrary sizes, thermal loads and (via sub-modeling)
+package locations.  The reduced order models are built lazily and cached, so
+repeated simulations pay only the global-stage cost — exactly the usage model
+the paper advertises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.fem.solver import SolverOptions
+from repro.geometry.array_layout import BlockKind, TSVArrayLayout
+from repro.geometry.tsv import TSVGeometry
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import MaterialLibrary
+from repro.materials.temperature import ThermalLoad
+from repro.mesh.resolution import MeshResolution
+from repro.rom.global_stage import GlobalSolution, GlobalStage
+from repro.rom.interpolation import InterpolationScheme
+from repro.rom.local_stage import LocalStage
+from repro.rom.rom_model import ReducedOrderModel
+from repro.utils.memory import PeakMemoryTracker
+from repro.utils.timing import Timer
+from repro.utils.validation import ValidationError
+
+
+@dataclass
+class SimulationResult:
+    """Result of one MORE-Stress array simulation.
+
+    Attributes
+    ----------
+    solution:
+        The :class:`~repro.rom.global_stage.GlobalSolution` with all field
+        reconstruction helpers.
+    local_stage_seconds:
+        Wall-clock time of the one-shot local stage attributed to this
+        simulator configuration (0 if the ROMs were already cached).
+    global_stage_seconds:
+        Wall-clock time of the global stage of this simulation (the quantity
+        the paper reports as its computational time).
+    peak_memory_bytes:
+        Peak traced memory of the global stage.
+    """
+
+    solution: GlobalSolution
+    local_stage_seconds: float
+    global_stage_seconds: float
+    peak_memory_bytes: int
+
+    def von_mises_midplane(self, points_per_block: int = 30) -> np.ndarray:
+        """Gridded mid-plane von Mises stress over the TSV region."""
+        return self.solution.von_mises_midplane(points_per_block)
+
+    def von_mises_midplane_flat(self, points_per_block: int = 30) -> np.ndarray:
+        """Flattened mid-plane von Mises stress (reference-sampler ordering)."""
+        return self.solution.von_mises_midplane_flat(points_per_block)
+
+    @property
+    def num_global_dofs(self) -> int:
+        """Number of reduced DoFs solved in the global stage."""
+        return self.solution.num_global_dofs
+
+    @property
+    def delta_t(self) -> float:
+        """Thermal load of the simulation."""
+        return self.solution.delta_t
+
+
+@dataclass
+class MoreStressSimulator:
+    """End-to-end MORE-Stress simulator for one TSV technology.
+
+    Parameters
+    ----------
+    tsv:
+        The TSV geometry (diameter, height, liner, pitch).
+    materials:
+        Material library; defaults to the Cu/Si/SiO2 library.
+    mesh_resolution:
+        Fine-mesh resolution of the unit block used in the local stage.
+    nodes_per_axis:
+        Lagrange interpolation nodes per axis (paper ``(nx, ny, nz)``,
+        default ``(4, 4, 4)`` as in the paper's main experiments).
+    solver_options:
+        Options of the global linear solve (default: GMRES, as in the paper).
+
+    Example
+    -------
+    >>> sim = MoreStressSimulator(TSVGeometry.paper_default(pitch=15.0))
+    >>> result = sim.simulate_array(rows=4, delta_t=-250.0)
+    >>> result.von_mises_midplane().shape[0]
+    4
+    """
+
+    tsv: TSVGeometry
+    materials: MaterialLibrary = field(default_factory=MaterialLibrary.default)
+    mesh_resolution: MeshResolution | str = "coarse"
+    nodes_per_axis: tuple[int, int, int] = (4, 4, 4)
+    solver_options: SolverOptions = field(
+        default_factory=lambda: SolverOptions(method="gmres", rtol=1e-9)
+    )
+    _roms: dict[BlockKind, ReducedOrderModel] = field(default_factory=dict, repr=False)
+    _local_stage_seconds: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.mesh_resolution = MeshResolution.from_spec(self.mesh_resolution)
+        self.scheme = InterpolationScheme(tuple(self.nodes_per_axis))
+
+    # ------------------------------------------------------------------ #
+    # local stage management
+    # ------------------------------------------------------------------ #
+    def build_roms(self, include_dummy: bool = False) -> dict[BlockKind, ReducedOrderModel]:
+        """Build (or return cached) reduced order models for this configuration."""
+        stage = LocalStage(
+            materials=self.materials,
+            resolution=self.mesh_resolution,
+            scheme=self.scheme,
+        )
+        block = UnitBlockGeometry(tsv=self.tsv, has_tsv=True)
+        if BlockKind.TSV not in self._roms:
+            rom = stage.build(block)
+            self._roms[BlockKind.TSV] = rom
+            self._local_stage_seconds += rom.local_stage_seconds
+        if include_dummy and BlockKind.DUMMY not in self._roms:
+            rom = stage.build(block.as_dummy())
+            self._roms[BlockKind.DUMMY] = rom
+            self._local_stage_seconds += rom.local_stage_seconds
+        return dict(self._roms)
+
+    @property
+    def local_stage_seconds(self) -> float:
+        """Accumulated wall-clock time spent in the one-shot local stage."""
+        return self._local_stage_seconds
+
+    def save_roms(self, directory: str | Path) -> dict[str, Path]:
+        """Persist the cached ROMs to ``directory`` and return the file paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, Path] = {}
+        for kind, rom in self._roms.items():
+            paths[kind.value] = rom.save(directory / f"rom_{kind.value}")
+        return paths
+
+    def load_roms(self, directory: str | Path) -> dict[BlockKind, ReducedOrderModel]:
+        """Load previously saved ROMs from ``directory`` into the cache."""
+        directory = Path(directory)
+        for kind in (BlockKind.TSV, BlockKind.DUMMY):
+            path = directory / f"rom_{kind.value}.npz"
+            if path.exists():
+                self._roms[kind] = ReducedOrderModel.load(path)
+        if not self._roms:
+            raise ValidationError(f"no ROM files found in {directory}")
+        return dict(self._roms)
+
+    # ------------------------------------------------------------------ #
+    # simulation
+    # ------------------------------------------------------------------ #
+    def simulate_array(
+        self,
+        rows: int,
+        cols: int | None = None,
+        delta_t: float | ThermalLoad = -250.0,
+        boundary: str = "clamped",
+        layout: TSVArrayLayout | None = None,
+        displacement_field=None,
+    ) -> SimulationResult:
+        """Simulate a TSV array and return the reduced-order solution.
+
+        Parameters
+        ----------
+        rows, cols:
+            Array size (``cols`` defaults to ``rows``).  Ignored when an
+            explicit ``layout`` is supplied.
+        delta_t:
+            Thermal load in degC (or a :class:`ThermalLoad`).
+        boundary:
+            ``"clamped"`` for the standalone-array scenario or ``"submodel"``
+            for sub-modeling with ``displacement_field`` boundary data.
+        layout:
+            Optional explicit layout (e.g. one with dummy padding rings).
+        displacement_field:
+            Callable mapping global coordinates to displacements, required
+            for ``boundary="submodel"``.
+        """
+        if isinstance(delta_t, ThermalLoad):
+            delta_t = delta_t.delta_t
+        if layout is None:
+            layout = TSVArrayLayout.full(self.tsv, rows=rows, cols=cols)
+        include_dummy = layout.num_dummy_blocks > 0
+        self.build_roms(include_dummy=include_dummy)
+
+        stage = GlobalStage(
+            roms=self._roms,
+            materials=self.materials,
+            solver_options=self.solver_options,
+        )
+        timer = Timer()
+        with PeakMemoryTracker() as tracker, timer:
+            solution = stage.solve(
+                layout,
+                delta_t=float(delta_t),
+                boundary_condition=boundary,
+                displacement_field=displacement_field,
+            )
+        return SimulationResult(
+            solution=solution,
+            local_stage_seconds=self.local_stage_seconds,
+            global_stage_seconds=timer.elapsed,
+            peak_memory_bytes=tracker.peak_bytes,
+        )
+
+
+__all__ = ["MoreStressSimulator", "SimulationResult"]

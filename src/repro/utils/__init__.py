@@ -1,0 +1,34 @@
+"""Shared utilities: units, timing, memory tracking, validation and serialization."""
+
+from repro.utils.units import UM, MM, NM, CELSIUS, GPA, MPA
+from repro.utils.timing import Timer, StageTimings, timed
+from repro.utils.memory import PeakMemoryTracker, measure_peak_memory
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_shape,
+    ValidationError,
+)
+from repro.utils.serialization import save_npz_bundle, load_npz_bundle
+
+__all__ = [
+    "UM",
+    "MM",
+    "NM",
+    "CELSIUS",
+    "GPA",
+    "MPA",
+    "Timer",
+    "StageTimings",
+    "timed",
+    "PeakMemoryTracker",
+    "measure_peak_memory",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_shape",
+    "ValidationError",
+    "save_npz_bundle",
+    "load_npz_bundle",
+]

@@ -1,0 +1,36 @@
+"""Lightweight logging configuration for the package.
+
+Experiment drivers print progress through a module-level logger so that the
+library itself stays silent by default (important when embedded in other EDA
+flows) while the examples and benchmarks can opt into verbose progress
+reporting with one call.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the package logger or a child logger named ``name``."""
+    if name is None:
+        return logging.getLogger(_PACKAGE_LOGGER_NAME)
+    return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a console handler to the package logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger
+
+
+__all__ = ["get_logger", "enable_console_logging"]

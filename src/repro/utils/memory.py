@@ -1,0 +1,115 @@
+"""Peak memory measurement.
+
+The paper reports the maximum memory used during computation for every solver
+(Table 1, Table 2).  ANSYS reports its own peak working set; here we measure
+the peak size of Python-visible allocations with :mod:`tracemalloc`, which
+captures the NumPy/SciPy arrays that dominate FEM memory use.  The resident
+set size is also sampled (when ``/proc/self/status`` is available) so that
+allocations made inside compiled code that bypass the Python allocator are not
+entirely invisible.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from dataclasses import dataclass
+
+
+def _read_rss_bytes() -> int | None:
+    """Return the current resident set size in bytes, or ``None`` if unknown."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+@dataclass
+class MemoryReport:
+    """Peak memory observed during a tracked region."""
+
+    peak_traced_bytes: int
+    rss_delta_bytes: int | None
+
+    @property
+    def peak_traced_mb(self) -> float:
+        """Peak traced allocation size in mebibytes."""
+        return self.peak_traced_bytes / 2**20
+
+    @property
+    def peak_traced_gb(self) -> float:
+        """Peak traced allocation size in gibibytes."""
+        return self.peak_traced_bytes / 2**30
+
+
+class PeakMemoryTracker:
+    """Context manager measuring peak Python allocations in a region.
+
+    Example
+    -------
+    >>> with PeakMemoryTracker() as tracker:
+    ...     x = [0] * 10_000
+    >>> tracker.report.peak_traced_bytes > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.report: MemoryReport | None = None
+        self._rss_before: int | None = None
+        self._started_tracemalloc = False
+
+    def __enter__(self) -> "PeakMemoryTracker":
+        self._rss_before = _read_rss_bytes()
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _, peak = tracemalloc.get_traced_memory()
+        rss_after = _read_rss_bytes()
+        rss_delta = None
+        if self._rss_before is not None and rss_after is not None:
+            rss_delta = max(0, rss_after - self._rss_before)
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+        self.report = MemoryReport(peak_traced_bytes=peak, rss_delta_bytes=rss_delta)
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak traced bytes of the last tracked region."""
+        if self.report is None:
+            raise RuntimeError("PeakMemoryTracker used before the region completed")
+        return self.report.peak_traced_bytes
+
+
+def measure_peak_memory(func, *args, **kwargs):
+    """Call ``func`` and return ``(result, MemoryReport)``."""
+    with PeakMemoryTracker() as tracker:
+        result = func(*args, **kwargs)
+    return result, tracker.report
+
+
+def process_rss_mb() -> float | None:
+    """Current resident set size of this process in MiB (or ``None``)."""
+    rss = _read_rss_bytes()
+    if rss is None:
+        return None
+    return rss / 2**20
+
+
+__all__ = [
+    "MemoryReport",
+    "PeakMemoryTracker",
+    "measure_peak_memory",
+    "process_rss_mb",
+]
+
+# Keep ``os`` referenced so static checkers do not flag the conditional import
+# path used on platforms without /proc.
+_ = os.name

@@ -1,0 +1,77 @@
+"""Serialization helpers for reduced order models and simulation results.
+
+Reduced order models are the product of the one-shot local stage and are meant
+to be computed once per (material, geometry) configuration and reused for
+arbitrarily many global-stage solves, possibly in separate processes.  They
+are therefore persisted as a ``.npz`` bundle containing all dense arrays plus
+a JSON metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+_META_KEY = "__metadata_json__"
+
+
+def save_npz_bundle(
+    path: str | Path,
+    arrays: Mapping[str, np.ndarray],
+    metadata: Mapping[str, Any] | None = None,
+) -> Path:
+    """Save named arrays plus a JSON metadata dictionary into one ``.npz`` file.
+
+    Parameters
+    ----------
+    path:
+        Destination file.  A ``.npz`` suffix is appended if missing.
+    arrays:
+        Mapping from array name to :class:`numpy.ndarray`.  Names must not
+        collide with the reserved metadata key.
+    metadata:
+        JSON-serialisable metadata stored alongside the arrays.
+
+    Returns
+    -------
+    pathlib.Path
+        The path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved for metadata")
+    payload = {name: np.asarray(value) for name, value in arrays.items()}
+    meta_json = json.dumps(dict(metadata or {}), sort_keys=True)
+    payload[_META_KEY] = np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_npz_bundle(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+    """Load a bundle written by :func:`save_npz_bundle`.
+
+    Returns
+    -------
+    (arrays, metadata)
+        ``arrays`` maps names to arrays, ``metadata`` is the decoded JSON dict.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as data:
+        arrays = {name: data[name] for name in data.files if name != _META_KEY}
+        metadata: dict[str, Any] = {}
+        if _META_KEY in data.files:
+            raw = bytes(data[_META_KEY].tobytes())
+            if raw:
+                metadata = json.loads(raw.decode("utf-8"))
+    return arrays, metadata
+
+
+__all__ = ["save_npz_bundle", "load_npz_bundle"]

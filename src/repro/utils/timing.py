@@ -1,0 +1,108 @@
+"""Wall-clock timing helpers used by the experiment drivers and benchmarks."""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """A simple accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     do_work()
+    >>> t.elapsed  # doctest: +SKIP
+    0.42
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> None:
+        """Start (or restart) the timer."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the timer and add the elapsed interval to :attr:`elapsed`."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before Timer.start()")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimings:
+    """Named timing records for the stages of a simulation run.
+
+    The experiment drivers use this to report per-stage wall-clock times
+    (meshing, assembly, solve, post-processing) in the same spirit as the
+    paper's local-stage / global-stage runtime breakdown.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager that accumulates elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the stage called ``name``."""
+        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+
+    def total(self) -> float:
+        """Sum of all recorded stage times."""
+        return float(sum(self.stages.values()))
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Return the accumulated time for ``name``."""
+        return self.stages.get(name, default)
+
+    def merge(self, other: "StageTimings") -> "StageTimings":
+        """Return a new :class:`StageTimings` with both records combined."""
+        merged = StageTimings(dict(self.stages))
+        for name, seconds in other.stages.items():
+            merged.add(name, seconds)
+        return merged
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a plain dictionary copy of the stage times."""
+        return dict(self.stages)
+
+
+def timed(func):
+    """Decorator returning ``(result, elapsed_seconds)`` from the wrapped call."""
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    return wrapper

@@ -1,0 +1,37 @@
+"""Unit conventions used throughout the package.
+
+The implementation works in a consistent *micrometre / megapascal* unit
+system, which is the natural scale for TSV structures:
+
+* length        -> micrometre (um)
+* stress, E     -> megapascal (MPa)
+* temperature   -> degree Celsius (only differences matter)
+* CTE           -> 1 / degree Celsius
+
+With these choices the stiffness matrices stay well conditioned for
+micron-scale geometry (entries of order 1e4..1e6 rather than 1e-4..1e11),
+and the von Mises stresses reported by the examples and benchmarks are
+directly in MPa, matching the way TSV stress results are usually quoted.
+
+The constants below convert *to* the internal unit system, e.g.
+``5 * UM`` is five micrometres expressed internally and ``2.0 * GPA`` is
+two gigapascals expressed internally (in MPa).
+"""
+
+#: one micrometre in internal length units (the internal unit *is* um)
+UM = 1.0
+
+#: one millimetre in internal length units
+MM = 1.0e3
+
+#: one nanometre in internal length units
+NM = 1.0e-3
+
+#: one degree Celsius in internal temperature units
+CELSIUS = 1.0
+
+#: one megapascal in internal stress units (the internal unit *is* MPa)
+MPA = 1.0
+
+#: one gigapascal in internal stress units
+GPA = 1.0e3

@@ -1,0 +1,81 @@
+"""Input validation helpers shared by the public API classes."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+class ValidationError(ValueError):
+    """Raised when a user-supplied parameter is outside its valid domain."""
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is strictly positive, otherwise raise."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValidationError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if it is finite and >= 0, otherwise raise."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise ValidationError(
+            f"{name} must be a finite non-negative number, got {value!r}"
+        )
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Return ``value`` if it lies inside ``[low, high]`` (or ``(low, high)``)."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValidationError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_positive_int(name: str, value: int, minimum: int = 1) -> int:
+    """Return ``value`` as int if it is an integer >= ``minimum``."""
+    if int(value) != value:
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Check that ``array`` has the given shape (``None`` entries are wildcards)."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ValidationError(
+            f"{name} must have {len(shape)} dimensions, got {array.ndim}"
+        )
+    for axis, expected in enumerate(shape):
+        if expected is not None and array.shape[axis] != expected:
+            raise ValidationError(
+                f"{name} has shape {array.shape}, expected axis {axis} to be {expected}"
+            )
+    return array
+
+
+__all__ = [
+    "ValidationError",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_positive_int",
+    "check_shape",
+]

@@ -1,0 +1,101 @@
+"""Unit tests for error metrics and result reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import error_map, normalized_mae, relative_max_error
+from repro.analysis.reporting import ResultTable, format_bytes, format_seconds
+from repro.utils.validation import ValidationError
+
+
+class TestNormalizedMAE:
+    def test_zero_for_identical_fields(self):
+        field = np.random.default_rng(0).uniform(1, 2, size=(4, 4))
+        assert normalized_mae(field, field) == 0.0
+
+    def test_known_value(self):
+        reference = np.array([0.0, 0.0, 10.0])
+        predicted = np.array([1.0, -1.0, 10.0])
+        # MAE = 2/3, max reference = 10 -> 0.0667
+        assert normalized_mae(predicted, reference) == pytest.approx(2.0 / 30.0)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        reference = rng.uniform(1, 5, size=(3, 7))
+        predicted = reference + rng.normal(scale=0.1, size=reference.shape)
+        assert normalized_mae(predicted, reference) == pytest.approx(
+            normalized_mae(13.7 * predicted, 13.7 * reference)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            normalized_mae(np.zeros(3), np.zeros(4))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            normalized_mae(np.ones(3), np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            normalized_mae(np.zeros(0), np.zeros(0))
+
+
+class TestOtherMetrics:
+    def test_relative_max_error(self):
+        reference = np.array([2.0, 4.0])
+        predicted = np.array([2.0, 5.0])
+        assert relative_max_error(predicted, reference) == pytest.approx(0.25)
+
+    def test_error_map_shape_and_values(self):
+        reference = np.array([[1.0, 2.0], [3.0, 4.0]])
+        predicted = reference + 0.4
+        emap = error_map(predicted, reference)
+        assert emap.shape == reference.shape
+        np.testing.assert_allclose(emap, 0.1)
+
+
+class TestFormatting:
+    def test_format_seconds(self):
+        assert format_seconds(0.0421).endswith("ms")
+        assert format_seconds(12.3) == "12.30 s"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 2**30) == "3.00 GiB"
+
+
+class TestResultTable:
+    def test_add_rows_and_render(self):
+        table = ResultTable(columns=["case", "time"], title="demo")
+        table.add_row(case="a", time="1 s")
+        table.add_rows([{"case": "b", "time": "2 s"}])
+        text = table.to_text()
+        assert "demo" in text
+        assert "case" in text and "b" in text
+        assert len(table) == 2
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable(columns=["a"])
+        with pytest.raises(KeyError):
+            table.add_row(b=1)
+
+    def test_column_accessor(self):
+        table = ResultTable(columns=["a", "b"])
+        table.add_row(a=1)
+        table.add_row(a=2, b=3)
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == [None, 3]
+        with pytest.raises(KeyError):
+            table.column("c")
+
+    def test_markdown_output(self):
+        table = ResultTable(columns=["x"], title="t")
+        table.add_row(x="v")
+        markdown = table.to_markdown()
+        assert "| x |" in markdown
+        assert "| v |" in markdown
+
+    def test_empty_table_renders_header(self):
+        table = ResultTable(columns=["only"])
+        assert "only" in table.to_text()

@@ -1,0 +1,155 @@
+"""Unit tests for the reference full FEM and the linear superposition baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.full_fem import FullFEMReference
+from repro.baselines.linear_superposition import LinearSuperpositionMethod
+from repro.geometry.array_layout import TSVArrayLayout
+from repro.utils.validation import ValidationError
+
+DELTA_T = -250.0
+
+
+class TestFullFEMReference:
+    def test_reference_solution_fields(self, reference_2x2):
+        solution = reference_2x2
+        assert solution.num_dofs == solution.mesh.num_dofs
+        assert solution.displacement.shape == (solution.num_dofs,)
+        assert solution.total_time() > 0.0
+        assert solution.peak_memory_bytes > 0
+        assert solution.solver_stats is not None and solution.solver_stats.converged
+
+    def test_clamped_faces_have_zero_displacement(self, reference_2x2):
+        mesh = reference_2x2.mesh
+        top_and_bottom = np.concatenate(
+            [mesh.boundary_node_ids("z-"), mesh.boundary_node_ids("z+")]
+        )
+        values = reference_2x2.displacement.reshape(-1, 3)[top_and_bottom]
+        np.testing.assert_allclose(values, 0.0, atol=1e-12)
+
+    def test_von_mises_midplane_shape(self, reference_2x2):
+        vm = reference_2x2.von_mises_midplane(points_per_block=7)
+        assert vm.shape == (2, 2, 7, 7)
+        assert np.all(vm > 0.0)
+        flat = reference_2x2.von_mises_midplane_flat(points_per_block=7)
+        np.testing.assert_allclose(flat, vm.reshape(-1))
+
+    def test_stress_peaks_near_the_vias(self, reference_2x2):
+        vm = reference_2x2.von_mises_midplane(points_per_block=11)
+        block = vm[0, 0]
+        center_value = block[5, 5]          # TSV axis
+        corner_value = block[0, 0]          # far silicon corner
+        assert center_value > 2.0 * corner_value
+
+    def test_submodel_boundary_requires_field(self, materials, tsv15):
+        reference = FullFEMReference(materials, resolution="tiny")
+        layout = TSVArrayLayout.full(tsv15, rows=1)
+        with pytest.raises(ValidationError):
+            reference.solve_array(layout, DELTA_T, boundary="submodel")
+
+    def test_unknown_boundary_rejected(self, materials, tsv15):
+        reference = FullFEMReference(materials, resolution="tiny")
+        layout = TSVArrayLayout.full(tsv15, rows=1)
+        with pytest.raises(ValidationError):
+            reference.solve_array(layout, DELTA_T, boundary="free")
+
+    def test_submodel_zero_boundary_runs(self, materials, tsv15):
+        reference = FullFEMReference(materials, resolution="tiny")
+        layout = TSVArrayLayout.full(tsv15, rows=1)
+        solution = reference.solve_array(
+            layout,
+            DELTA_T,
+            boundary="submodel",
+            displacement_field=lambda pts: np.zeros((pts.shape[0], 3)),
+        )
+        boundary_nodes = solution.mesh.all_boundary_node_ids()
+        np.testing.assert_allclose(
+            solution.displacement.reshape(-1, 3)[boundary_nodes], 0.0, atol=1e-12
+        )
+
+    def test_displacement_at(self, reference_2x2):
+        values = reference_2x2.displacement_at(np.array([[15.0, 15.0, 25.0]]))
+        assert values.shape == (1, 3)
+        assert np.all(np.isfinite(values))
+
+
+class TestLinearSuperposition:
+    @pytest.fixture(scope="class")
+    def method(self, materials):
+        return LinearSuperpositionMethod(materials, resolution="tiny", window_blocks=3)
+
+    def test_window_must_be_odd(self, materials):
+        with pytest.raises(ValidationError):
+            LinearSuperpositionMethod(materials, resolution="tiny", window_blocks=4)
+
+    def test_prepare_caches_influence(self, method, tsv15):
+        first = method.prepare(tsv15)
+        seconds_after_first = method.preparation_seconds
+        second = method.prepare(tsv15)
+        assert first is second
+        assert method.preparation_seconds == seconds_after_first
+
+    def test_estimate_shape_and_positivity(self, method, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=2, cols=3)
+        estimate = method.estimate(layout, DELTA_T, points_per_block=8)
+        vm = estimate.von_mises_midplane()
+        assert vm.shape == (2, 3, 8, 8)
+        assert np.all(vm > 0.0)
+        assert estimate.estimation_seconds > 0.0
+
+    def test_estimate_scales_with_load(self, method, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=2)
+        full = method.estimate(layout, DELTA_T, points_per_block=6).von_mises_midplane()
+        half = method.estimate(layout, DELTA_T / 2, points_per_block=6).von_mises_midplane()
+        np.testing.assert_allclose(half, 0.5 * full, rtol=1e-9)
+
+    def test_single_tsv_estimate_close_to_reference(self, method, materials, tsv15):
+        """For one isolated TSV the superposition is essentially exact by
+        construction (it reuses its own single-TSV solution), which validates
+        the background + perturbation bookkeeping."""
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=1, cols=1, ring_width=1)
+        reference = FullFEMReference(materials, resolution="tiny")
+        solution = reference.solve_array(layout, DELTA_T)
+        vm_reference = solution.von_mises_midplane(points_per_block=10)
+        estimate = method.estimate(layout, DELTA_T, points_per_block=10)
+        vm_estimate = estimate.von_mises_midplane()
+        from repro.analysis.metrics import normalized_mae
+
+        assert normalized_mae(vm_estimate, vm_reference) < 0.02
+
+    def test_error_grows_when_tsvs_get_close(self, method, materials):
+        """Superposition ignores TSV-TSV coupling, so its error grows as the
+        pitch shrinks (the paper's central criticism)."""
+        from repro.analysis.metrics import normalized_mae
+        from repro.geometry.tsv import TSVGeometry
+
+        errors = {}
+        for pitch in (15.0, 10.0):
+            tsv = TSVGeometry.paper_default(pitch=pitch)
+            layout = TSVArrayLayout.full(tsv, rows=3)
+            reference = FullFEMReference(materials, resolution="tiny")
+            vm_reference = reference.solve_array(layout, DELTA_T).von_mises_midplane(10)
+            estimate = method.estimate(layout, DELTA_T, points_per_block=10)
+            errors[pitch] = normalized_mae(estimate.von_mises_midplane(), vm_reference)
+        assert errors[10.0] > errors[15.0]
+
+    def test_background_stress_field_hook(self, method, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=1)
+        constant_background = lambda points: np.tile(  # noqa: E731
+            np.array([100.0, 100.0, 0.0, 0.0, 0.0, 0.0]), (points.shape[0], 1)
+        )
+        estimate = method.estimate(
+            layout, DELTA_T, points_per_block=5, background_stress_field=constant_background
+        )
+        assert np.all(np.isfinite(estimate.von_mises_midplane()))
+
+    def test_bad_background_shape_rejected(self, method, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=1)
+        with pytest.raises(ValidationError):
+            method.estimate(
+                layout,
+                DELTA_T,
+                points_per_block=5,
+                background_stress_field=lambda points: np.zeros((points.shape[0], 5)),
+            )

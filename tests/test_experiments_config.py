@@ -1,0 +1,53 @@
+"""Unit tests for the experiment configurations."""
+
+import pytest
+
+from repro.experiments.config import ConvergenceConfig, Scenario1Config, Scenario2Config
+from repro.utils.validation import ValidationError
+
+
+class TestScenario1Config:
+    def test_small_default(self):
+        config = Scenario1Config.small()
+        assert config.pitches == (15.0, 10.0)
+        assert all(size >= 1 for size in config.array_sizes)
+        assert config.delta_t == -250.0
+
+    def test_paper_matches_paper_parameters(self):
+        config = Scenario1Config.paper()
+        assert config.array_sizes == (10, 20, 30, 40, 50)
+        assert config.points_per_block == 100
+        assert config.mesh_resolution == "paper"
+
+    def test_medium_is_larger_than_small(self):
+        assert max(Scenario1Config.medium().array_sizes) > max(
+            Scenario1Config.small().array_sizes
+        )
+
+    def test_invalid_array_size(self):
+        with pytest.raises(ValidationError):
+            Scenario1Config(array_sizes=(0,))
+
+
+class TestScenario2Config:
+    def test_small_default_locations(self):
+        config = Scenario2Config.small()
+        assert config.locations == ("loc1", "loc2", "loc3", "loc4", "loc5")
+        assert config.dummy_ring_width >= 1
+
+    def test_paper_config(self):
+        config = Scenario2Config.paper()
+        assert config.array_rows == 15
+        assert config.dummy_ring_width == 2
+        assert config.points_per_block == 100
+
+
+class TestConvergenceConfig:
+    def test_node_sweep_matches_paper_table3(self):
+        config = ConvergenceConfig.small()
+        assert config.node_counts[0] == (2, 2, 2)
+        assert config.node_counts[-1] == (6, 6, 6)
+        assert len(config.node_counts) == 5
+
+    def test_paper_config_uses_20x20(self):
+        assert ConvergenceConfig.paper().array_size == 20

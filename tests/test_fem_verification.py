@@ -1,0 +1,146 @@
+"""Verification problems for the FEM kernel (manufactured / analytical solutions).
+
+These tests exercise the whole kernel chain (meshing, assembly, boundary
+conditions, solve, stress recovery) against problems with known solutions:
+
+* free thermal expansion of a homogeneous block reproduces the exact linear
+  displacement field and zero stress;
+* a clamped homogeneous slab under uniform cool-down develops the classical
+  equi-biaxial stress state ``sigma_xx = sigma_yy = E alpha dT / (1 - nu)``;
+* stress scales linearly with the thermal load (Eq. 1 is linear).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.assembly import assemble_stiffness, assemble_thermal_load
+from repro.fem.boundary import DirichletBC, reduce_system
+from repro.fem.fields import FieldEvaluator
+from repro.fem.solver import FactorizedOperator
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import ROLE_SILICON
+from repro.mesh.block_mesher import mesh_unit_block
+
+DELTA_T = -250.0
+
+
+def _solve(mesh, materials, bc, delta_t):
+    stiffness = assemble_stiffness(mesh, materials)
+    load = delta_t * assemble_thermal_load(mesh, materials)
+    a_ff, rhs, split = reduce_system(stiffness, load, bc)
+    return split.expand(FactorizedOperator(a_ff).solve(rhs), bc.values)
+
+
+@pytest.fixture(scope="module")
+def silicon_mesh(dummy_block):
+    """A homogeneous (pure silicon) block mesh."""
+    return mesh_unit_block(dummy_block, "tiny")
+
+
+class TestFreeThermalExpansion:
+    """Prescribing the exact free-expansion field on the boundary must
+    reproduce it in the interior with (numerically) zero stress."""
+
+    def test_displacement_and_stress(self, silicon_mesh, materials):
+        silicon = materials[ROLE_SILICON]
+        coords = silicon_mesh.node_coordinates()
+        reference_point = coords.mean(axis=0)
+        exact = silicon.cte * DELTA_T * (coords - reference_point)
+
+        boundary_nodes = silicon_mesh.all_boundary_node_ids()
+        bc = DirichletBC.from_nodes(boundary_nodes, exact[boundary_nodes])
+        displacement = _solve(silicon_mesh, materials, bc, DELTA_T)
+
+        np.testing.assert_allclose(
+            displacement.reshape(-1, 3), exact, atol=1e-12 + 1e-9 * np.abs(exact).max()
+        )
+        evaluator = FieldEvaluator(silicon_mesh, materials)
+        vm = evaluator.von_mises_at(silicon_mesh.element_centroids(), displacement, DELTA_T)
+        assert vm.max() < 1e-6  # MPa — essentially zero
+
+
+class TestFullyConstrainedBlock:
+    """With u = 0 prescribed on the whole boundary of a homogeneous block the
+    exact solution is u = 0 everywhere, so the stress is purely the (hydro-
+    static) thermal stress ``sigma = -alpha (3 lambda + 2 mu) dT I`` and the
+    von Mises stress vanishes identically."""
+
+    def test_hydrostatic_thermal_stress(self, materials, dummy_block):
+        mesh = mesh_unit_block(dummy_block, "tiny")
+        silicon = materials[ROLE_SILICON]
+        bc = DirichletBC.from_nodes(mesh.all_boundary_node_ids())
+        displacement = _solve(mesh, materials, bc, DELTA_T)
+
+        # The exact solution is zero displacement everywhere.
+        np.testing.assert_allclose(displacement, 0.0, atol=1e-12)
+
+        evaluator = FieldEvaluator(mesh, materials)
+        points = np.array([[7.5, 7.5, 25.0], [3.0, 11.0, 40.0]])
+        stress = evaluator.stress_at(points, displacement, DELTA_T)
+
+        expected = -silicon.thermal_stress_coefficient() * DELTA_T
+        np.testing.assert_allclose(stress[:, 0], expected, rtol=1e-9)
+        np.testing.assert_allclose(stress[:, 1], expected, rtol=1e-9)
+        np.testing.assert_allclose(stress[:, 2], expected, rtol=1e-9)
+        np.testing.assert_allclose(stress[:, 3:], 0.0, atol=1e-9)
+        assert expected > 0.0  # cooling a constrained block puts it in tension
+
+    def test_clamped_column_is_axially_stressed_at_mid_height(self, materials, dummy_block):
+        """A homogeneous column clamped at both ends and cooled cannot contract
+        axially, so away from the ends it approaches the classical uniaxial
+        state ``sigma_zz = -E alpha dT`` with nearly free lateral stresses."""
+        mesh = mesh_unit_block(dummy_block, "coarse")
+        silicon = materials[ROLE_SILICON]
+        clamped = np.unique(
+            np.concatenate([mesh.boundary_node_ids("z-"), mesh.boundary_node_ids("z+")])
+        )
+        bc = DirichletBC.from_nodes(clamped)
+        displacement = _solve(mesh, materials, bc, DELTA_T)
+        evaluator = FieldEvaluator(mesh, materials)
+        stress = evaluator.stress_at(np.array([[7.5, 7.5, 25.0]]), displacement, DELTA_T)[0]
+
+        axial_expected = -silicon.young_modulus * silicon.cte * DELTA_T  # > 0 (tension)
+        assert stress[2] == pytest.approx(axial_expected, rel=0.25)
+        # Lateral stresses are an order of magnitude smaller than the axial one.
+        assert abs(stress[0]) < 0.2 * stress[2]
+        assert abs(stress[1]) < 0.2 * stress[2]
+
+
+class TestLinearity:
+    def test_solution_scales_with_load(self, silicon_mesh, materials):
+        clamped = np.unique(
+            np.concatenate(
+                [
+                    silicon_mesh.boundary_node_ids("z-"),
+                    silicon_mesh.boundary_node_ids("z+"),
+                ]
+            )
+        )
+        bc = DirichletBC.from_nodes(clamped)
+        full = _solve(silicon_mesh, materials, bc, DELTA_T)
+        half = _solve(silicon_mesh, materials, bc, DELTA_T / 2)
+        np.testing.assert_allclose(half, 0.5 * full, atol=1e-12 + 1e-9 * np.abs(full).max())
+
+
+class TestMeshConvergenceOfPeakStress:
+    """Refining the unit-block mesh must not change the copper-core stress
+    much (sanity check that the discretisation behaves consistently)."""
+
+    def test_copper_core_stress_stable_under_refinement(self, materials, tsv15):
+        values = []
+        for preset in ("coarse", "medium"):
+            block = UnitBlockGeometry(tsv=tsv15, has_tsv=True)
+            mesh = mesh_unit_block(block, preset)
+            clamped = np.unique(
+                np.concatenate(
+                    [mesh.boundary_node_ids("z-"), mesh.boundary_node_ids("z+")]
+                )
+            )
+            bc = DirichletBC.from_nodes(clamped)
+            displacement = _solve(mesh, materials, bc, DELTA_T)
+            evaluator = FieldEvaluator(mesh, materials)
+            # Stress at the centre of the copper core at mid-height: dominated
+            # by the CTE mismatch, well away from singular corners.
+            core = np.array([[7.5, 7.5, 25.0]])
+            values.append(evaluator.von_mises_at(core, displacement, DELTA_T)[0])
+        assert values[0] == pytest.approx(values[1], rel=0.20)

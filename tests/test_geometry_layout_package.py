@@ -1,0 +1,165 @@
+"""Unit tests for array layouts and the chiplet package geometry."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.array_layout import BlockKind, TSVArrayLayout
+from repro.geometry.package import ChipletPackage, PackageLayer
+from repro.materials.library import ROLE_SILICON, ROLE_SUBSTRATE
+from repro.utils.validation import ValidationError
+
+
+class TestTSVArrayLayoutFull:
+    def test_full_layout_counts(self, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=3, cols=4)
+        assert layout.shape == (3, 4)
+        assert layout.num_blocks == 12
+        assert layout.num_tsv_blocks == 12
+        assert layout.num_dummy_blocks == 0
+
+    def test_square_default(self, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=5)
+        assert layout.shape == (5, 5)
+
+    def test_extent(self, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=2, cols=3)
+        assert layout.extent == (45.0, 30.0, 50.0)
+
+    def test_block_origin_and_centers(self, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=2, cols=2, origin=(100.0, 200.0, 5.0))
+        assert layout.block_origin(1, 0) == (100.0, 215.0, 5.0)
+        centers = layout.tsv_centers()
+        assert centers.shape == (4, 2)
+        np.testing.assert_allclose(centers[0], [107.5, 207.5])
+
+    def test_tsv_region_full(self, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=3)
+        rows, cols = layout.tsv_region()
+        assert (rows.start, rows.stop) == (0, 3)
+        assert (cols.start, cols.stop) == (0, 3)
+
+    def test_translated(self, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=2).translated((1.0, 2.0, 3.0))
+        assert layout.origin == (1.0, 2.0, 3.0)
+
+
+class TestTSVArrayLayoutDummyRing:
+    def test_ring_counts(self, tsv15):
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=3, cols=3, ring_width=2)
+        assert layout.shape == (7, 7)
+        assert layout.num_tsv_blocks == 9
+        assert layout.num_dummy_blocks == 49 - 9
+
+    def test_ring_zero_is_full(self, tsv15):
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=2, cols=2, ring_width=0)
+        assert layout.num_dummy_blocks == 0
+
+    def test_tsv_region_excludes_ring(self, tsv15):
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=2, cols=3, ring_width=1)
+        rows, cols = layout.tsv_region()
+        assert (rows.start, rows.stop) == (1, 3)
+        assert (cols.start, cols.stop) == (1, 4)
+
+    def test_kind_at_positions(self, tsv15):
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=1, cols=1, ring_width=1)
+        assert layout.kind_at(0, 0) is BlockKind.DUMMY
+        assert layout.kind_at(1, 1) is BlockKind.TSV
+        assert layout.block_at(1, 1).has_tsv is True
+        assert layout.block_at(0, 0).has_tsv is False
+
+    def test_centers_only_for_tsv_blocks(self, tsv15):
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=1, cols=1, ring_width=1)
+        centers = layout.tsv_centers()
+        assert centers.shape == (1, 2)
+        np.testing.assert_allclose(centers[0], [22.5, 22.5])
+
+    def test_invalid_kinds_rejected(self, tsv15):
+        with pytest.raises(TypeError):
+            TSVArrayLayout(tsv=tsv15, kinds=np.array([["tsv"]], dtype=object))
+        with pytest.raises(ValueError):
+            TSVArrayLayout(tsv=tsv15, kinds=np.array([BlockKind.TSV], dtype=object))
+
+
+class TestPackageLayer:
+    def test_contains(self):
+        layer = PackageLayer("die", ROLE_SILICON, (-1.0, 1.0), (-1.0, 1.0), (0.0, 2.0))
+        assert layer.thickness == 2.0
+        inside = layer.contains(np.array([0.0]), np.array([0.0]), np.array([1.0]))
+        outside = layer.contains(np.array([2.0]), np.array([0.0]), np.array([1.0]))
+        assert bool(inside[0]) and not bool(outside[0])
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValidationError):
+            PackageLayer("bad", ROLE_SILICON, (1.0, -1.0), (-1.0, 1.0), (0.0, 1.0))
+
+
+class TestChipletPackage:
+    def test_layer_stack_order_and_heights(self):
+        package = ChipletPackage()
+        layers = package.layers()
+        assert [layer.name for layer in layers] == [
+            "substrate",
+            "underfill",
+            "interposer",
+            "die",
+        ]
+        # contiguous stacking
+        for below, above in zip(layers, layers[1:]):
+            assert below.z_range[1] == pytest.approx(above.z_range[0])
+        assert package.total_height == pytest.approx(
+            package.substrate_thickness
+            + package.underfill_thickness
+            + package.interposer_thickness
+            + package.die_thickness
+        )
+
+    def test_interposer_thickness_matches_tsv_height(self):
+        package = ChipletPackage()
+        z0, z1 = package.interposer_z_range
+        assert (z1 - z0) == pytest.approx(50.0)
+
+    def test_material_classification(self):
+        package = ChipletPackage()
+        # centre of the substrate
+        role = package.material_role_at(
+            np.array([0.0]), np.array([0.0]), np.array([10.0])
+        )
+        assert role[0] == ROLE_SUBSTRATE
+        # far corner above the substrate is void (outside interposer/die)
+        z_die = package.layers()[-1].z_range[0] + 1.0
+        role = package.material_role_at(
+            np.array([0.49 * package.substrate_size]),
+            np.array([0.49 * package.substrate_size]),
+            np.array([z_die]),
+        )
+        assert role[0] == "void"
+
+    def test_die_must_fit_on_interposer(self):
+        with pytest.raises(ValidationError):
+            ChipletPackage(die_size=2000.0, interposer_size=900.0)
+
+    def test_paper_locations_inside_interposer(self, tsv15):
+        package = ChipletPackage()
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=3, cols=3, ring_width=1)
+        locations = package.paper_locations(layout)
+        assert [loc.name for loc in locations] == ["loc1", "loc2", "loc3", "loc4", "loc5"]
+        half = 0.5 * package.interposer_size
+        size_x, size_y = package.submodel_footprint(layout)
+        for loc in locations:
+            ox, oy, oz = loc.origin
+            assert -half <= ox and ox + size_x <= half
+            assert -half <= oy and oy + size_y <= half
+            assert oz == pytest.approx(package.interposer_z_range[0])
+
+    def test_location_lookup(self, tsv15):
+        package = ChipletPackage()
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=2, cols=2, ring_width=1)
+        loc3 = package.location("loc3", layout)
+        assert loc3.name == "loc3"
+        with pytest.raises(KeyError):
+            package.location("loc99", layout)
+
+    def test_scaled_default(self):
+        package = ChipletPackage.scaled_default(scale=2.0)
+        assert package.substrate_size == pytest.approx(3000.0)
+        assert package.interposer_thickness == pytest.approx(50.0)

@@ -1,0 +1,92 @@
+"""Unit tests for TSV geometry and unit blocks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.tsv import TSVGeometry
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import ROLE_COPPER, ROLE_LINER, ROLE_SILICON
+from repro.utils.validation import ValidationError
+
+
+class TestTSVGeometry:
+    def test_paper_default_values(self):
+        tsv = TSVGeometry.paper_default()
+        assert tsv.diameter == 5.0
+        assert tsv.height == 50.0
+        assert tsv.liner_thickness == 0.5
+        assert tsv.pitch == 15.0
+
+    def test_derived_quantities(self):
+        tsv = TSVGeometry(diameter=4.0, height=40.0, liner_thickness=0.5, pitch=12.0)
+        assert tsv.radius == 2.0
+        assert tsv.outer_radius == 2.5
+        assert tsv.outer_diameter == 5.0
+        assert tsv.aspect_ratio == pytest.approx(10.0)
+
+    def test_fill_factor(self):
+        tsv = TSVGeometry(diameter=4.0, height=40.0, liner_thickness=0.5, pitch=10.0)
+        expected = math.pi * 2.5**2 / 100.0
+        assert tsv.fill_factor == pytest.approx(expected)
+
+    def test_with_pitch(self):
+        tsv = TSVGeometry.paper_default(pitch=15.0).with_pitch(10.0)
+        assert tsv.pitch == 10.0
+        assert tsv.diameter == 5.0
+
+    def test_tsv_must_fit_in_cell(self):
+        with pytest.raises(ValidationError):
+            TSVGeometry(diameter=10.0, height=50.0, liner_thickness=0.5, pitch=10.0)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValidationError):
+            TSVGeometry(diameter=-1.0, height=50.0, liner_thickness=0.5, pitch=15.0)
+        with pytest.raises(ValidationError):
+            TSVGeometry(diameter=5.0, height=0.0, liner_thickness=0.5, pitch=15.0)
+
+
+class TestUnitBlockGeometry:
+    def test_dimensions(self, tsv15):
+        block = UnitBlockGeometry(tsv=tsv15)
+        assert block.dimensions == (15.0, 15.0, 50.0)
+        assert block.center_xy == (7.5, 7.5)
+
+    def test_material_classification_center_is_copper(self, tsv15):
+        block = UnitBlockGeometry(tsv=tsv15)
+        role = block.material_role_at(np.array([7.5]), np.array([7.5]))
+        assert role[0] == ROLE_COPPER
+
+    def test_material_classification_liner_ring(self, tsv15):
+        block = UnitBlockGeometry(tsv=tsv15)
+        # radius 2.5, liner to 3.0: a point at r = 2.75 from the centre is liner
+        role = block.material_role_at(np.array([7.5 + 2.75]), np.array([7.5]))
+        assert role[0] == ROLE_LINER
+
+    def test_material_classification_corner_is_silicon(self, tsv15):
+        block = UnitBlockGeometry(tsv=tsv15)
+        role = block.material_role_at(np.array([0.5]), np.array([0.5]))
+        assert role[0] == ROLE_SILICON
+
+    def test_dummy_block_is_all_silicon(self, tsv15):
+        block = UnitBlockGeometry(tsv=tsv15, has_tsv=False)
+        xs = np.linspace(0, 15, 7)
+        roles = block.material_role_at(*np.meshgrid(xs, xs, indexing="ij"))
+        assert np.all(roles == ROLE_SILICON)
+
+    def test_as_dummy(self, tsv15):
+        block = UnitBlockGeometry(tsv=tsv15, has_tsv=True)
+        assert block.as_dummy().has_tsv is False
+
+    def test_volume_fractions_sum_to_one(self, tsv15):
+        block = UnitBlockGeometry(tsv=tsv15)
+        fractions = block.volume_fractions(samples_per_axis=100)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        # Copper area fraction should be close to pi r^2 / p^2.
+        expected_copper = math.pi * 2.5**2 / 15.0**2
+        assert fractions[ROLE_COPPER] == pytest.approx(expected_copper, rel=0.1)
+
+    def test_dummy_volume_fraction_all_silicon(self, tsv15):
+        fractions = UnitBlockGeometry(tsv=tsv15, has_tsv=False).volume_fractions(50)
+        assert fractions[ROLE_SILICON] == pytest.approx(1.0)

@@ -1,0 +1,144 @@
+"""Unit tests for the material models and library."""
+
+import numpy as np
+import pytest
+
+from repro.materials.library import (
+    ROLE_COPPER,
+    ROLE_LINER,
+    ROLE_SILICON,
+    MaterialAssignment,
+    MaterialLibrary,
+)
+from repro.materials.material import IsotropicMaterial, lame_parameters
+from repro.materials.temperature import ThermalLoad
+from repro.utils.units import GPA
+from repro.utils.validation import ValidationError
+
+
+class TestLameParameters:
+    def test_known_values(self):
+        # E = 1, nu = 0.25 -> lambda = 0.4, mu = 0.4
+        lam, mu = lame_parameters(1.0, 0.25)
+        assert lam == pytest.approx(0.4)
+        assert mu == pytest.approx(0.4)
+
+    def test_copper_values(self):
+        lam, mu = lame_parameters(110.0 * GPA, 0.35)
+        # Standard formulas: mu = E / (2 (1 + nu)); lambda = E nu / ((1+nu)(1-2nu))
+        assert mu == pytest.approx(110.0e3 / 2.7, rel=1e-12)
+        assert lam == pytest.approx(110.0e3 * 0.35 / (1.35 * 0.3), rel=1e-12)
+
+    def test_invalid_poisson_rejected(self):
+        with pytest.raises(ValidationError):
+            lame_parameters(100.0, 0.5)
+        with pytest.raises(ValidationError):
+            lame_parameters(100.0, -1.0)
+
+    def test_invalid_modulus_rejected(self):
+        with pytest.raises(ValidationError):
+            lame_parameters(-5.0, 0.3)
+
+
+class TestIsotropicMaterial:
+    def test_elasticity_matrix_structure(self):
+        material = IsotropicMaterial("test", 100.0 * GPA, 0.3, 3e-6)
+        d = material.elasticity_matrix()
+        assert d.shape == (6, 6)
+        np.testing.assert_allclose(d, d.T)
+        lam, mu = material.lame_lambda, material.lame_mu
+        assert d[0, 0] == pytest.approx(lam + 2 * mu)
+        assert d[0, 1] == pytest.approx(lam)
+        assert d[3, 3] == pytest.approx(mu)
+        # no normal-shear coupling for isotropy
+        assert np.all(d[:3, 3:] == 0.0)
+
+    def test_elasticity_matrix_positive_definite(self):
+        material = IsotropicMaterial("test", 130.0 * GPA, 0.28, 2.3e-6)
+        eigenvalues = np.linalg.eigvalsh(material.elasticity_matrix())
+        assert np.all(eigenvalues > 0.0)
+
+    def test_thermal_strain(self):
+        material = IsotropicMaterial("test", 100.0, 0.3, 2e-6)
+        eps = material.thermal_strain(-250.0)
+        np.testing.assert_allclose(eps[:3], -250.0 * 2e-6)
+        np.testing.assert_allclose(eps[3:], 0.0)
+
+    def test_thermal_stress_coefficient_matches_definition(self):
+        material = IsotropicMaterial("test", 100.0, 0.3, 2e-6)
+        expected = 2e-6 * (3 * material.lame_lambda + 2 * material.lame_mu)
+        assert material.thermal_stress_coefficient() == pytest.approx(expected)
+
+    def test_bulk_modulus(self):
+        material = IsotropicMaterial("test", 100.0, 0.25, 1e-6)
+        k_expected = 100.0 / (3 * (1 - 2 * 0.25))
+        assert material.bulk_modulus == pytest.approx(k_expected)
+
+    def test_with_name(self):
+        material = IsotropicMaterial("a", 10.0, 0.3, 1e-6)
+        renamed = material.with_name("b")
+        assert renamed.name == "b"
+        assert renamed.young_modulus == material.young_modulus
+
+    def test_invalid_cte_rejected(self):
+        with pytest.raises(ValidationError):
+            IsotropicMaterial("bad", 10.0, 0.3, -1e-6)
+
+
+class TestMaterialLibrary:
+    def test_default_contains_tsv_roles(self):
+        library = MaterialLibrary.default()
+        for role in (ROLE_SILICON, ROLE_COPPER, ROLE_LINER):
+            assert role in library
+            assert library[role].young_modulus > 0
+
+    def test_copper_cte_exceeds_silicon(self):
+        # The CTE mismatch is the physical driver of TSV stress.
+        library = MaterialLibrary.default()
+        assert library[ROLE_COPPER].cte > 5 * library[ROLE_SILICON].cte
+
+    def test_unknown_role_raises_keyerror(self):
+        with pytest.raises(KeyError, match="not found"):
+            MaterialLibrary.default()["adamantium"]
+
+    def test_add_and_subset(self):
+        library = MaterialLibrary.default()
+        library.add("custom", IsotropicMaterial("custom", 1.0, 0.3, 0.0))
+        subset = library.subset([ROLE_SILICON, "custom"])
+        assert subset.roles() == ["custom", ROLE_SILICON] or set(subset.roles()) == {
+            "custom",
+            ROLE_SILICON,
+        }
+        with pytest.raises(KeyError):
+            subset[ROLE_COPPER]
+
+    def test_roles_sorted(self):
+        roles = MaterialLibrary.default().roles()
+        assert roles == sorted(roles)
+
+
+class TestMaterialAssignment:
+    def test_roundtrip(self):
+        assignment = MaterialAssignment.from_dict({0: "silicon", 1: "copper"})
+        assert assignment.as_dict() == {0: "silicon", 1: "copper"}
+        assert assignment.role_of(1) == "copper"
+
+    def test_missing_tag_raises(self):
+        assignment = MaterialAssignment.from_dict({0: "silicon"})
+        with pytest.raises(KeyError):
+            assignment.role_of(5)
+
+
+class TestThermalLoad:
+    def test_paper_default(self):
+        load = ThermalLoad.paper_default()
+        assert load.delta_t == pytest.approx(-250.0)
+
+    def test_from_delta(self):
+        load = ThermalLoad.from_delta(-100.0)
+        assert load.delta_t == pytest.approx(-100.0)
+        assert load.target_temperature == pytest.approx(175.0)
+
+    def test_scaled(self):
+        load = ThermalLoad.paper_default().scaled(0.5)
+        assert load.delta_t == pytest.approx(-125.0)

@@ -1,0 +1,176 @@
+"""Unit tests for the unit-block mesher, the array mesher, mesh quality and I/O."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.array_layout import BlockKind, TSVArrayLayout
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import ROLE_COPPER, ROLE_LINER, ROLE_SILICON
+from repro.mesh.array_mesher import mesh_tsv_array
+from repro.mesh.block_mesher import (
+    TAG_COPPER,
+    TAG_LINER,
+    TAG_SILICON,
+    block_coordinates,
+    classify_inplane_cells,
+    mesh_unit_block,
+)
+from repro.mesh.mesh_io import load_mesh, save_mesh
+from repro.mesh.quality import mesh_quality_report
+from repro.mesh.resolution import MeshResolution
+
+
+class TestMeshResolution:
+    def test_presets_exist(self):
+        for name in MeshResolution.preset_names():
+            resolution = MeshResolution.preset(name)
+            assert resolution.cells_per_block > 0
+            assert resolution.dofs_per_block > 0
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            MeshResolution.preset("ultra")
+
+    def test_from_spec_passthrough(self):
+        resolution = MeshResolution.preset("tiny")
+        assert MeshResolution.from_spec(resolution) is resolution
+        assert MeshResolution.from_spec("tiny") == resolution
+
+    def test_inplane_cells_formula(self):
+        resolution = MeshResolution(n_core=4, n_liner=1, n_outer=3, n_z=6)
+        assert resolution.inplane_cells == 4 + 2 * (1 + 3)
+        assert resolution.cells_per_block == resolution.inplane_cells**2 * 6
+
+    def test_presets_increase_in_size(self):
+        sizes = [
+            MeshResolution.preset(name).cells_per_block
+            for name in ("tiny", "coarse", "medium", "fine", "paper")
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestBlockMesher:
+    def test_mesh_dimensions(self, tsv_block, tiny_resolution):
+        mesh = mesh_unit_block(tsv_block, tiny_resolution)
+        assert mesh.cells == (
+            tiny_resolution.inplane_cells,
+            tiny_resolution.inplane_cells,
+            tiny_resolution.n_z,
+        )
+        (xmin, xmax), (ymin, ymax), (zmin, zmax) = mesh.bounding_box
+        assert (xmax, ymax, zmax) == pytest.approx((15.0, 15.0, 50.0))
+
+    def test_materials_present(self, tsv_block, tiny_resolution):
+        # The crude "tiny" preset resolves copper but may staircase the thin
+        # liner away; from "coarse" upwards all three materials must be present.
+        tiny_roles = set(mesh_unit_block(tsv_block, tiny_resolution).element_roles())
+        assert {ROLE_SILICON, ROLE_COPPER} <= tiny_roles
+        coarse_roles = set(mesh_unit_block(tsv_block, "coarse").element_roles())
+        assert coarse_roles == {ROLE_SILICON, ROLE_COPPER, ROLE_LINER}
+
+    def test_dummy_block_is_all_silicon(self, dummy_block, tiny_resolution):
+        mesh = mesh_unit_block(dummy_block, tiny_resolution)
+        assert set(mesh.element_roles()) == {ROLE_SILICON}
+
+    def test_copper_volume_fraction_close_to_geometry(self, tsv_block):
+        mesh = mesh_unit_block(tsv_block, "coarse")
+        volumes = mesh.element_volumes()
+        copper = volumes[mesh.element_tags == TAG_COPPER].sum()
+        expected = np.pi * tsv_block.tsv.radius**2 * tsv_block.tsv.height
+        assert copper == pytest.approx(expected, rel=0.35)
+
+    def test_material_cross_section_constant_over_z(self, tsv_block, tiny_resolution):
+        mesh = mesh_unit_block(tsv_block, tiny_resolution)
+        ncx, ncy, ncz = mesh.cells
+        tags = mesh.element_tags.reshape(ncz, ncy, ncx)
+        for layer in range(1, ncz):
+            np.testing.assert_array_equal(tags[layer], tags[0])
+
+    def test_classify_inplane_cells_center_is_copper(self, tsv_block):
+        xs, ys, _ = block_coordinates(tsv_block, "coarse")
+        tags = classify_inplane_cells(tsv_block, xs, ys)
+        center = tags.shape[0] // 2
+        assert tags[center, center] == TAG_COPPER
+        assert tags[0, 0] == TAG_SILICON
+        assert TAG_LINER in tags
+
+    def test_same_coordinates_for_tsv_and_dummy(self, tsv_block, tiny_resolution):
+        xs_a, ys_a, zs_a = block_coordinates(tsv_block, tiny_resolution)
+        xs_b, ys_b, zs_b = block_coordinates(tsv_block.as_dummy(), tiny_resolution)
+        np.testing.assert_allclose(xs_a, xs_b)
+        np.testing.assert_allclose(zs_a, zs_b)
+
+
+class TestArrayMesher:
+    def test_array_mesh_tiles_block_mesh(self, tsv15, tiny_resolution):
+        layout = TSVArrayLayout.full(tsv15, rows=2, cols=3)
+        array_mesh = mesh_tsv_array(layout, tiny_resolution)
+        block_mesh = mesh_unit_block(UnitBlockGeometry(tsv=tsv15), tiny_resolution)
+        ncx, ncy, ncz = block_mesh.cells
+        assert array_mesh.cells == (3 * ncx, 2 * ncy, ncz)
+        # The first block's x coordinates coincide with the block mesh.
+        np.testing.assert_allclose(array_mesh.xs[: ncx + 1], block_mesh.xs)
+        # The copper volume is num_tsv_blocks times the single block's copper.
+        copper_block = block_mesh.element_volumes()[
+            block_mesh.element_tags == TAG_COPPER
+        ].sum()
+        copper_array = array_mesh.element_volumes()[
+            array_mesh.element_tags == TAG_COPPER
+        ].sum()
+        assert copper_array == pytest.approx(6 * copper_block, rel=1e-9)
+
+    def test_dummy_blocks_have_no_copper(self, tsv15, tiny_resolution):
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=1, cols=1, ring_width=1)
+        mesh = mesh_tsv_array(layout, tiny_resolution)
+        centroids = mesh.element_centroids()
+        copper_mask = mesh.element_tags == TAG_COPPER
+        # all copper centroids must lie inside the central block footprint
+        assert np.all(centroids[copper_mask, 0] > 15.0)
+        assert np.all(centroids[copper_mask, 0] < 30.0)
+        assert np.all(centroids[copper_mask, 1] > 15.0)
+        assert np.all(centroids[copper_mask, 1] < 30.0)
+
+    def test_origin_offset(self, tsv15, tiny_resolution):
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=1, origin=(100.0, 50.0, 10.0))
+        mesh = mesh_tsv_array(layout, tiny_resolution)
+        (xmin, xmax), (ymin, ymax), (zmin, zmax) = mesh.bounding_box
+        assert (xmin, ymin, zmin) == pytest.approx((100.0, 50.0, 10.0))
+        assert (xmax, ymax, zmax) == pytest.approx((115.0, 65.0, 60.0))
+
+    def test_kinds_respected(self, tsv15, tiny_resolution):
+        kinds = np.array(
+            [[BlockKind.TSV, BlockKind.DUMMY]], dtype=object
+        )
+        layout = TSVArrayLayout(tsv=tsv15, kinds=kinds)
+        mesh = mesh_tsv_array(layout, tiny_resolution)
+        centroids = mesh.element_centroids()
+        copper = mesh.element_tags == TAG_COPPER
+        assert np.all(centroids[copper, 0] < 15.0)
+
+
+class TestMeshQuality:
+    def test_report_fields(self, tiny_block_mesh):
+        report = mesh_quality_report(tiny_block_mesh)
+        assert report.num_elements == tiny_block_mesh.num_elements
+        assert report.max_aspect_ratio >= 1.0
+        assert report.min_cell_size > 0
+        assert report.max_growth_ratio >= 1.0
+
+    def test_presets_meet_quality_thresholds(self, tsv_block):
+        # The deliberately crude "tiny" preset gets looser thresholds; the
+        # production presets must satisfy the default engineering limits.
+        report = mesh_quality_report(mesh_unit_block(tsv_block, "tiny"))
+        assert report.is_acceptable(max_aspect=80.0, max_growth=6.0)
+        for name in ("coarse", "medium"):
+            report = mesh_quality_report(mesh_unit_block(tsv_block, name))
+            assert report.is_acceptable(), name
+
+
+class TestMeshIO:
+    def test_roundtrip(self, tiny_block_mesh, tmp_path):
+        path = save_mesh(tmp_path / "block", tiny_block_mesh)
+        loaded = load_mesh(path)
+        np.testing.assert_allclose(loaded.xs, tiny_block_mesh.xs)
+        np.testing.assert_allclose(loaded.zs, tiny_block_mesh.zs)
+        np.testing.assert_array_equal(loaded.element_tags, tiny_block_mesh.element_tags)
+        assert loaded.tag_roles == tiny_block_mesh.tag_roles

@@ -1,0 +1,106 @@
+"""Unit tests for 1-D mesh grading functions."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.grading import (
+    geometric_interval,
+    symmetric_graded_interval,
+    tsv_inplane_coordinates,
+    uniform_interval,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestUniformInterval:
+    def test_basic(self):
+        coords = uniform_interval(10.0, 5)
+        assert coords.shape == (6,)
+        np.testing.assert_allclose(np.diff(coords), 2.0)
+
+    def test_start_offset(self):
+        coords = uniform_interval(4.0, 2, start=1.0)
+        np.testing.assert_allclose(coords, [1.0, 3.0, 5.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            uniform_interval(-1.0, 3)
+        with pytest.raises(ValidationError):
+            uniform_interval(1.0, 0)
+
+
+class TestGeometricInterval:
+    def test_ratio_one_is_uniform(self):
+        np.testing.assert_allclose(
+            geometric_interval(10.0, 4, ratio=1.0), uniform_interval(10.0, 4)
+        )
+
+    def test_total_length_preserved(self):
+        coords = geometric_interval(7.0, 6, ratio=1.5)
+        assert coords[0] == pytest.approx(0.0)
+        assert coords[-1] == pytest.approx(7.0)
+
+    def test_growth_direction(self):
+        sizes = np.diff(geometric_interval(10.0, 5, ratio=1.4))
+        assert np.all(np.diff(sizes) > 0)  # growing cells
+        sizes = np.diff(geometric_interval(10.0, 5, ratio=1 / 1.4))
+        assert np.all(np.diff(sizes) < 0)  # shrinking cells
+
+    def test_cell_ratio_matches(self):
+        sizes = np.diff(geometric_interval(10.0, 5, ratio=1.3))
+        np.testing.assert_allclose(sizes[1:] / sizes[:-1], 1.3)
+
+
+class TestSymmetricGradedInterval:
+    def test_uniform_when_refinement_one(self):
+        np.testing.assert_allclose(
+            symmetric_graded_interval(10.0, 4, 1.0), uniform_interval(10.0, 4)
+        )
+
+    def test_symmetric_and_refined_at_ends(self):
+        coords = symmetric_graded_interval(10.0, 8, boundary_refinement=2.0)
+        sizes = np.diff(coords)
+        np.testing.assert_allclose(sizes, sizes[::-1], rtol=1e-10)
+        assert sizes[0] < sizes[len(sizes) // 2]
+        assert coords[0] == pytest.approx(0.0)
+        assert coords[-1] == pytest.approx(10.0)
+
+    def test_single_cell(self):
+        np.testing.assert_allclose(symmetric_graded_interval(5.0, 1, 3.0), [0.0, 5.0])
+
+
+class TestTSVInplaneCoordinates:
+    def test_mesh_lines_hit_material_interfaces(self):
+        coords = tsv_inplane_coordinates(
+            pitch=15.0, radius=2.5, outer_radius=3.0, n_core=4, n_liner=1, n_outer=3
+        )
+        center = 7.5
+        for feature in (center - 3.0, center - 2.5, center, center + 2.5, center + 3.0):
+            assert np.any(np.isclose(coords, feature, atol=1e-9)), feature
+
+    def test_count_and_bounds(self):
+        coords = tsv_inplane_coordinates(
+            pitch=10.0, radius=2.5, outer_radius=3.0, n_core=4, n_liner=2, n_outer=3
+        )
+        assert coords.shape == (4 + 2 * (2 + 3) + 1,)
+        assert coords[0] == pytest.approx(0.0)
+        assert coords[-1] == pytest.approx(10.0)
+        assert np.all(np.diff(coords) > 0)
+
+    def test_symmetry_about_center(self):
+        coords = tsv_inplane_coordinates(
+            pitch=12.0, radius=2.0, outer_radius=2.4, n_core=4, n_liner=1, n_outer=4
+        )
+        np.testing.assert_allclose(coords + coords[::-1], 12.0, atol=1e-9)
+
+    def test_tsv_must_fit(self):
+        with pytest.raises(ValidationError):
+            tsv_inplane_coordinates(
+                pitch=5.0, radius=2.5, outer_radius=3.0, n_core=2, n_liner=1, n_outer=2
+            )
+
+    def test_outer_radius_must_exceed_radius(self):
+        with pytest.raises(ValidationError):
+            tsv_inplane_coordinates(
+                pitch=15.0, radius=3.0, outer_radius=2.5, n_core=2, n_liner=1, n_outer=2
+            )

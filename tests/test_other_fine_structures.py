@@ -1,0 +1,78 @@
+"""Generality of the pipeline: other fine structures via material-role re-binding.
+
+The paper claims the method applies to any periodic fine structure.  These
+tests retarget the unit cell to a copper pillar and a solder micro bump in an
+underfill matrix (no code changes, only different geometry parameters and
+material bindings) and check the full pipeline still runs and produces
+physically ordered results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.tsv import TSVGeometry
+from repro.materials.library import (
+    ROLE_COPPER,
+    ROLE_LINER,
+    ROLE_SILICON,
+    ROLE_SOLDER,
+    ROLE_UNDERFILL,
+    MaterialLibrary,
+)
+from repro.rom.workflow import MoreStressSimulator
+
+DELTA_T = -250.0
+
+
+def _pillar_library() -> MaterialLibrary:
+    library = MaterialLibrary.default()
+    library.add(ROLE_SILICON, library[ROLE_UNDERFILL].with_name(ROLE_SILICON))
+    library.add(ROLE_LINER, library[ROLE_COPPER].with_name(ROLE_LINER))
+    return library
+
+
+def _bump_library() -> MaterialLibrary:
+    library = MaterialLibrary.default()
+    library.add(ROLE_SILICON, library[ROLE_UNDERFILL].with_name(ROLE_SILICON))
+    library.add(ROLE_COPPER, library[ROLE_SOLDER].with_name(ROLE_COPPER))
+    library.add(ROLE_LINER, library[ROLE_SOLDER].with_name(ROLE_LINER))
+    return library
+
+
+class TestOtherFineStructures:
+    @pytest.mark.parametrize(
+        "geometry,library_factory",
+        [
+            (TSVGeometry(diameter=20.0, height=40.0, liner_thickness=0.5, pitch=50.0), _pillar_library),
+            (TSVGeometry(diameter=25.0, height=30.0, liner_thickness=0.5, pitch=60.0), _bump_library),
+        ],
+        ids=["copper-pillar", "solder-bump"],
+    )
+    def test_pipeline_runs_for_non_tsv_structures(self, geometry, library_factory):
+        simulator = MoreStressSimulator(
+            geometry, library_factory(), mesh_resolution="tiny", nodes_per_axis=(3, 3, 3)
+        )
+        result = simulator.simulate_array(rows=2, delta_t=DELTA_T)
+        vm = result.von_mises_midplane(points_per_block=8)
+        assert vm.shape == (2, 2, 8, 8)
+        assert np.all(np.isfinite(vm))
+        assert vm.max() > 1.0  # some stress must develop
+
+    def test_soft_matrix_lowers_stress_versus_tsv(self, tsv15, materials):
+        """A copper pillar in compliant underfill loads its surroundings far
+        less than a TSV in stiff silicon: the mean von Mises stress over the
+        unit cell mid-plane must drop (the copper core itself can carry more
+        axial stress, so the *peak* is not the discriminating quantity)."""
+        tsv_sim = MoreStressSimulator(
+            tsv15, materials, mesh_resolution="tiny", nodes_per_axis=(3, 3, 3)
+        )
+        vm_tsv = tsv_sim.simulate_array(rows=2, delta_t=DELTA_T).von_mises_midplane(8)
+
+        pillar_geometry = TSVGeometry(
+            diameter=5.0, height=50.0, liner_thickness=0.5, pitch=15.0
+        )
+        pillar_sim = MoreStressSimulator(
+            pillar_geometry, _pillar_library(), mesh_resolution="tiny", nodes_per_axis=(3, 3, 3)
+        )
+        vm_pillar = pillar_sim.simulate_array(rows=2, delta_t=DELTA_T).von_mises_midplane(8)
+        assert vm_pillar.mean() < vm_tsv.mean()

@@ -1,0 +1,34 @@
+"""Tests of the top-level package API surface."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_classes_importable_from_top_level(self):
+        assert repro.TSVGeometry is not None
+        assert repro.MoreStressSimulator is not None
+        assert repro.FullFEMReference is not None
+        assert repro.LinearSuperpositionMethod is not None
+        assert callable(repro.normalized_mae)
+
+    def test_quickstart_pattern(self):
+        """The README / docstring quickstart must stay valid."""
+        geometry = repro.TSVGeometry(
+            diameter=5.0, height=50.0, liner_thickness=0.5, pitch=15.0
+        )
+        simulator = repro.MoreStressSimulator(
+            geometry,
+            repro.MaterialLibrary.default(),
+            mesh_resolution="tiny",
+            nodes_per_axis=(3, 3, 3),
+        )
+        result = simulator.simulate_array(rows=2, delta_t=-250.0)
+        assert result.von_mises_midplane(points_per_block=5).shape == (2, 2, 5, 5)

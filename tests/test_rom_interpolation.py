@@ -1,0 +1,136 @@
+"""Unit tests for the Lagrange interpolation scheme of the ROM."""
+
+import numpy as np
+import pytest
+
+from repro.rom.interpolation import InterpolationScheme, lagrange_1d_values
+from repro.utils.validation import ValidationError
+
+
+class TestLagrange1D:
+    def test_kronecker_delta_at_nodes(self):
+        nodes = np.linspace(0.0, 15.0, 4)
+        values = lagrange_1d_values(nodes, nodes)
+        np.testing.assert_allclose(values, np.eye(4), atol=1e-12)
+
+    def test_partition_of_unity(self):
+        nodes = np.linspace(0.0, 10.0, 5)
+        points = np.linspace(0.0, 10.0, 37)
+        values = lagrange_1d_values(points, nodes)
+        np.testing.assert_allclose(values.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_reproduces_polynomials_up_to_degree(self):
+        nodes = np.linspace(0.0, 1.0, 4)  # cubic interpolation
+        points = np.linspace(0.0, 1.0, 11)
+        values = lagrange_1d_values(points, nodes)
+        for degree in range(4):
+            nodal = nodes**degree
+            np.testing.assert_allclose(values @ nodal, points**degree, atol=1e-10)
+
+    def test_single_node(self):
+        values = lagrange_1d_values(np.array([1.0, 2.0]), np.array([5.0]))
+        np.testing.assert_allclose(values, 1.0)
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            lagrange_1d_values(np.array([0.5]), np.array([1.0, 1.0]))
+
+
+class TestInterpolationSchemeCounting:
+    @pytest.mark.parametrize(
+        "nodes,expected_n",
+        [((2, 2, 2), 24), ((3, 3, 3), 78), ((4, 4, 4), 168), ((5, 5, 5), 294), ((6, 6, 6), 456)],
+    )
+    def test_paper_table3_dof_counts(self, nodes, expected_n):
+        """The element DoF counts of paper Table 3 follow Eq. 16."""
+        assert InterpolationScheme(nodes).num_element_dofs == expected_n
+
+    def test_surface_count_matches_equation_16(self):
+        scheme = InterpolationScheme((4, 5, 3))
+        nx, ny, nz = 4, 5, 3
+        expected = nx * ny * nz - (nx - 2) * (ny - 2) * (nz - 2)
+        assert scheme.num_surface_nodes == expected
+        assert scheme.num_element_dofs == 3 * expected
+
+    def test_surface_indices_are_actually_on_surface(self):
+        scheme = InterpolationScheme((4, 4, 4))
+        indices = scheme.surface_node_indices()
+        assert indices.shape == (scheme.num_surface_nodes, 3)
+        on_surface = (
+            (indices[:, 0] % 3 == 0)
+            | (indices[:, 1] % 3 == 0)
+            | (indices[:, 2] % 3 == 0)
+        )
+        assert np.all(on_surface)
+        # unique
+        assert len({tuple(row) for row in indices}) == indices.shape[0]
+
+    def test_minimum_two_nodes_per_axis(self):
+        with pytest.raises(ValidationError):
+            InterpolationScheme((1, 4, 4))
+
+    def test_describe(self):
+        assert "168" in InterpolationScheme((4, 4, 4)).describe()
+
+
+class TestInterpolationSchemeGeometry:
+    def test_axis_positions_span_block(self):
+        scheme = InterpolationScheme((4, 4, 3))
+        xs, ys, zs = scheme.axis_positions((15.0, 15.0, 50.0))
+        assert xs[0] == 0.0 and xs[-1] == 15.0 and len(xs) == 4
+        assert zs[-1] == 50.0 and len(zs) == 3
+
+    def test_surface_positions_on_boundary(self):
+        scheme = InterpolationScheme((3, 3, 3))
+        positions = scheme.surface_node_positions((10.0, 10.0, 20.0))
+        on_face = (
+            np.isclose(positions[:, 0], 0.0)
+            | np.isclose(positions[:, 0], 10.0)
+            | np.isclose(positions[:, 1], 0.0)
+            | np.isclose(positions[:, 1], 10.0)
+            | np.isclose(positions[:, 2], 0.0)
+            | np.isclose(positions[:, 2], 20.0)
+        )
+        assert np.all(on_face)
+
+
+class TestBasisEvaluation:
+    def test_nodal_interpolation_property_on_surface(self):
+        scheme = InterpolationScheme((4, 4, 4))
+        dims = (15.0, 15.0, 50.0)
+        positions = scheme.surface_node_positions(dims)
+        basis = scheme.basis_at_points(positions, dims)
+        np.testing.assert_allclose(basis, np.eye(scheme.num_surface_nodes), atol=1e-9)
+
+    def test_partition_of_unity_on_faces(self):
+        """On any block face the surface basis functions sum to one (Eq. 10)."""
+        scheme = InterpolationScheme((4, 4, 4))
+        dims = (15.0, 15.0, 50.0)
+        rng = np.random.default_rng(0)
+        face_points = np.column_stack(
+            [
+                np.zeros(20),
+                rng.uniform(0, 15, 20),
+                rng.uniform(0, 50, 20),
+            ]
+        )
+        basis = scheme.basis_at_points(face_points, dims)
+        np.testing.assert_allclose(basis.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_boundary_interpolation_matrix_structure(self):
+        scheme = InterpolationScheme((3, 3, 3))
+        dims = (10.0, 10.0, 10.0)
+        boundary_points = np.array([[0.0, 0.0, 0.0], [0.0, 5.0, 5.0]])
+        matrix = scheme.boundary_interpolation_matrix(boundary_points, dims)
+        assert matrix.shape == (6, 3 * scheme.num_surface_nodes)
+        # components do not mix: row 0 (x of point 0) has zeros in y/z columns
+        assert np.all(matrix[0, 1::3] == 0.0)
+        assert np.all(matrix[0, 2::3] == 0.0)
+        # the corner point reproduces its own node exactly: one unit entry
+        assert np.isclose(matrix[0].max(), 1.0)
+        assert np.isclose(matrix[0].sum(), 1.0)
+
+    def test_invalid_points_shape(self):
+        scheme = InterpolationScheme((3, 3, 3))
+        with pytest.raises(ValidationError):
+            scheme.basis_at_points(np.zeros((4, 2)), (1.0, 1.0, 1.0))

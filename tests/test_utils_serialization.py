@@ -1,0 +1,40 @@
+"""Unit tests for the npz bundle serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_npz_bundle, save_npz_bundle
+
+
+class TestNpzBundle:
+    def test_roundtrip_arrays_and_metadata(self, tmp_path):
+        arrays = {
+            "matrix": np.arange(12, dtype=float).reshape(3, 4),
+            "ints": np.array([1, 2, 3]),
+        }
+        metadata = {"name": "rom", "nodes": [4, 4, 4], "pitch": 15.0}
+        path = save_npz_bundle(tmp_path / "bundle", arrays, metadata)
+        assert path.suffix == ".npz"
+
+        loaded_arrays, loaded_metadata = load_npz_bundle(path)
+        np.testing.assert_allclose(loaded_arrays["matrix"], arrays["matrix"])
+        np.testing.assert_array_equal(loaded_arrays["ints"], arrays["ints"])
+        assert loaded_metadata == {"name": "rom", "nodes": [4, 4, 4], "pitch": 15.0}
+
+    def test_load_accepts_path_without_suffix(self, tmp_path):
+        save_npz_bundle(tmp_path / "data", {"x": np.ones(3)}, {})
+        arrays, _ = load_npz_bundle(tmp_path / "data")
+        assert "x" in arrays
+
+    def test_empty_metadata_roundtrip(self, tmp_path):
+        path = save_npz_bundle(tmp_path / "nometa", {"x": np.zeros(2)})
+        _, metadata = load_npz_bundle(path)
+        assert metadata == {}
+
+    def test_reserved_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_npz_bundle(tmp_path / "bad", {"__metadata_json__": np.zeros(1)}, {})
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_npz_bundle(tmp_path / "deep" / "nested" / "file", {"x": np.ones(1)}, {})
+        assert path.exists()

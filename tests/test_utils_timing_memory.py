@@ -1,0 +1,105 @@
+"""Unit tests for timing and memory utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.memory import MemoryReport, PeakMemoryTracker, measure_peak_memory
+from repro.utils.timing import StageTimings, Timer, timed
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_multiple_intervals_accumulate(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.005)
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.005)
+        assert timer.elapsed > first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+class TestStageTimings:
+    def test_measure_and_total(self):
+        timings = StageTimings()
+        with timings.measure("a"):
+            time.sleep(0.005)
+        timings.add("b", 1.5)
+        assert timings.get("a") > 0.0
+        assert timings.get("b") == 1.5
+        assert timings.total() == pytest.approx(timings.get("a") + 1.5)
+
+    def test_repeated_stage_accumulates(self):
+        timings = StageTimings()
+        timings.add("solve", 1.0)
+        timings.add("solve", 2.0)
+        assert timings.get("solve") == 3.0
+
+    def test_merge_keeps_both(self):
+        a = StageTimings({"x": 1.0})
+        b = StageTimings({"x": 2.0, "y": 3.0})
+        merged = a.merge(b)
+        assert merged.get("x") == 3.0
+        assert merged.get("y") == 3.0
+        # originals untouched
+        assert a.get("x") == 1.0
+
+    def test_get_default(self):
+        assert StageTimings().get("missing", 7.0) == 7.0
+
+    def test_as_dict_is_copy(self):
+        timings = StageTimings({"x": 1.0})
+        d = timings.as_dict()
+        d["x"] = 99.0
+        assert timings.get("x") == 1.0
+
+
+class TestTimedDecorator:
+    def test_returns_result_and_elapsed(self):
+        @timed
+        def add(a, b):
+            return a + b
+
+        result, elapsed = add(2, 3)
+        assert result == 5
+        assert elapsed >= 0.0
+
+
+class TestPeakMemoryTracker:
+    def test_tracks_allocation(self):
+        with PeakMemoryTracker() as tracker:
+            _ = np.zeros(500_000)  # ~4 MB
+        assert tracker.peak_bytes > 1_000_000
+
+    def test_report_units(self):
+        report = MemoryReport(peak_traced_bytes=2**30, rss_delta_bytes=None)
+        assert report.peak_traced_gb == pytest.approx(1.0)
+        assert report.peak_traced_mb == pytest.approx(1024.0)
+
+    def test_peak_bytes_before_exit_raises(self):
+        tracker = PeakMemoryTracker()
+        with pytest.raises(RuntimeError):
+            _ = tracker.peak_bytes
+
+    def test_measure_peak_memory_helper(self):
+        result, report = measure_peak_memory(lambda: np.ones(100_000).sum())
+        assert result == pytest.approx(100_000.0)
+        assert report.peak_traced_bytes > 0

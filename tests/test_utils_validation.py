@@ -1,0 +1,94 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", -1.0)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", float("nan"))
+        with pytest.raises(ValidationError):
+            check_positive("x", float("inf"))
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValidationError, match="pitch"):
+            check_positive("pitch", -3)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0.5, 0.5, 1.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 3.0, 0.0, 2.0)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("n", 3) == 3
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValidationError):
+            check_positive_int("n", 2.5)
+
+    def test_respects_minimum(self):
+        with pytest.raises(ValidationError):
+            check_positive_int("n", 1, minimum=2)
+
+    def test_zero_minimum_allows_zero(self):
+        assert check_positive_int("n", 0, minimum=0) == 0
+
+
+class TestCheckShape:
+    def test_accepts_matching_shape(self):
+        array = np.zeros((3, 2))
+        out = check_shape("a", array, (3, 2))
+        assert out.shape == (3, 2)
+
+    def test_wildcard_axis(self):
+        array = np.zeros((7, 3))
+        assert check_shape("a", array, (None, 3)).shape == (7, 3)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError):
+            check_shape("a", np.zeros(4), (2, 2))
+
+    def test_rejects_wrong_axis_length(self):
+        with pytest.raises(ValidationError):
+            check_shape("a", np.zeros((4, 2)), (4, 3))
