@@ -25,6 +25,7 @@ from repro.experiments.config import (  # noqa: E402
     Scenario2Config,
 )
 from repro.materials.library import MaterialLibrary  # noqa: E402
+from repro.rom.cache import ROMCache  # noqa: E402
 
 
 def _scale() -> str:
@@ -46,6 +47,21 @@ def bench_scale() -> str:
 def materials() -> MaterialLibrary:
     """Default material library shared by all benchmarks."""
     return MaterialLibrary.default()
+
+
+@pytest.fixture(scope="session")
+def rom_cache(tmp_path_factory) -> ROMCache:
+    """Persistent ROM cache shared by the benchmark session.
+
+    Set ``REPRO_ROM_CACHE_DIR`` to a fixed directory to keep ROMs across
+    benchmark runs, so every run after the first skips the one-shot local
+    stage entirely; by default the cache lives in a per-session temp dir
+    (warm within the run, cold across runs).
+    """
+    directory = os.environ.get("REPRO_ROM_CACHE_DIR")
+    if directory:
+        return ROMCache(directory)
+    return ROMCache(tmp_path_factory.mktemp("rom_cache"))
 
 
 @pytest.fixture(scope="session")

@@ -51,6 +51,7 @@ from repro.rom import (
     InterpolationScheme,
     LocalStage,
     ReducedOrderModel,
+    ROMCache,
     GlobalStage,
     MoreStressSimulator,
     SubModelingDriver,
@@ -75,6 +76,7 @@ __all__ = [
     "InterpolationScheme",
     "LocalStage",
     "ReducedOrderModel",
+    "ROMCache",
     "GlobalStage",
     "MoreStressSimulator",
     "SubModelingDriver",

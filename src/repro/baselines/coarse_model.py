@@ -130,6 +130,10 @@ class CoarseChipletModel:
     def __post_init__(self) -> None:
         check_positive_int("inplane_cells", self.inplane_cells)
         if ROLE_VOID not in self.materials:
+            # Work on a copy: adding the void role to the caller's library
+            # would leak a side effect into every other consumer of that
+            # library (and change its material fingerprint).
+            self.materials = MaterialLibrary(dict(self.materials.materials))
             self.materials.add(ROLE_VOID, VOID_MATERIAL)
 
     # ------------------------------------------------------------------ #

@@ -74,6 +74,15 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--points-per-block", type=int, default=30, help="mid-plane sample grid per block"
     )
+    simulate.add_argument(
+        "--rom-cache",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent ROM cache directory; repeat runs with the same "
+            "geometry/resolution/materials skip the local stage entirely"
+        ),
+    )
 
     for name, help_text in (
         ("table1", "regenerate Table 1 (standalone arrays)"),
@@ -120,15 +129,20 @@ def _command_simulate(args: argparse.Namespace) -> int:
         MaterialLibrary.default(),
         mesh_resolution=args.resolution,
         nodes_per_axis=(args.nodes, args.nodes, args.nodes),
+        rom_cache=args.rom_cache,
     )
     result = simulator.simulate_array(
         rows=args.rows, cols=args.cols, delta_t=args.delta_t
     )
     vm = result.von_mises_midplane(points_per_block=args.points_per_block)
     rows, cols = vm.shape[:2]
+    cache = simulator.rom_cache
+    local_note = "one-shot"
+    if cache is not None:
+        local_note = f"rom cache: {cache.hits} hit(s), {cache.misses} miss(es)"
     print(f"array             : {rows}x{cols} TSVs at pitch {args.pitch:g} um")
     print(f"thermal load      : {args.delta_t:g} degC")
-    print(f"local stage       : {result.local_stage_seconds:.2f} s (one-shot)")
+    print(f"local stage       : {result.local_stage_seconds:.2f} s ({local_note})")
     print(f"global stage      : {result.global_stage_seconds:.3f} s")
     print(f"reduced DoFs      : {result.num_global_dofs}")
     print(f"peak von Mises    : {vm.max():.1f} MPa")

@@ -43,8 +43,13 @@ class ConvergenceRecord:
 def run_convergence_study(
     config: ConvergenceConfig | None = None,
     materials: MaterialLibrary | None = None,
+    rom_cache=None,
 ) -> tuple[list[ConvergenceRecord], float]:
     """Run the convergence study.
+
+    ``rom_cache`` (a :class:`~repro.rom.cache.ROMCache` or directory) lets
+    repeat runs reuse the per-node-count ROMs (each node count is a distinct
+    cache entry because the interpolation scheme is part of the key).
 
     Returns
     -------
@@ -71,6 +76,7 @@ def run_convergence_study(
             materials,
             mesh_resolution=config.mesh_resolution,
             nodes_per_axis=nodes,
+            rom_cache=rom_cache,
         )
         result = simulator.simulate_array(rows=config.array_size, delta_t=config.delta_t)
         rom_vm = result.von_mises_midplane(config.points_per_block)

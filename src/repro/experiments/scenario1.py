@@ -70,8 +70,14 @@ class Scenario1Record:
 def run_scenario1(
     config: Scenario1Config | None = None,
     materials: MaterialLibrary | None = None,
+    rom_cache=None,
 ) -> list[Scenario1Record]:
-    """Run the standalone-array study and return one record per case."""
+    """Run the standalone-array study and return one record per case.
+
+    ``rom_cache`` (a :class:`~repro.rom.cache.ROMCache` or directory) lets
+    repeat runs of the study reuse the per-pitch ROMs instead of rebuilding
+    them; the one-shot column then reports the (tiny) cache-load time.
+    """
     config = config or Scenario1Config.small()
     materials = materials or MaterialLibrary.default()
     records: list[Scenario1Record] = []
@@ -83,6 +89,7 @@ def run_scenario1(
             materials,
             mesh_resolution=config.mesh_resolution,
             nodes_per_axis=config.nodes_per_axis,
+            rom_cache=rom_cache,
         )
         superposition = LinearSuperpositionMethod(
             materials,

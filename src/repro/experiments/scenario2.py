@@ -78,8 +78,13 @@ class Scenario2Record:
 def run_scenario2(
     config: Scenario2Config | None = None,
     materials: MaterialLibrary | None = None,
+    rom_cache=None,
 ) -> list[Scenario2Record]:
-    """Run the embedded-array (sub-modeling) study and return per-case records."""
+    """Run the embedded-array (sub-modeling) study and return per-case records.
+
+    ``rom_cache`` (a :class:`~repro.rom.cache.ROMCache` or directory) lets
+    repeat runs reuse the per-pitch TSV/dummy ROM pairs.
+    """
     config = config or Scenario2Config.small()
     materials = materials or MaterialLibrary.default()
     package = ChipletPackage.scaled_default(config.package_scale)
@@ -103,6 +108,7 @@ def run_scenario2(
             materials,
             mesh_resolution=config.mesh_resolution,
             nodes_per_axis=config.nodes_per_axis,
+            rom_cache=rom_cache,
         )
         driver = SubModelingDriver(
             simulator=simulator,

@@ -9,6 +9,8 @@ underfill, solder).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.materials.material import IsotropicMaterial
@@ -108,6 +110,27 @@ class MaterialLibrary:
     def subset(self, roles: list[str]) -> "MaterialLibrary":
         """Return a library restricted to ``roles`` (missing roles raise)."""
         return MaterialLibrary({role: self[role] for role in roles})
+
+    def fingerprint(self) -> str:
+        """Stable content hash over all roles and their elastic constants.
+
+        Reduced order models bake the material constants into their element
+        matrices, so a ROM is only valid for the exact library it was built
+        with.  The fingerprint is stored in persisted ROM bundles and in the
+        :class:`~repro.rom.cache.ROMCache` key; it changes whenever a role is
+        added, removed or any of ``(E, nu, alpha)`` changes.
+        """
+        payload = {
+            role: [
+                material.name,
+                material.young_modulus,
+                material.poisson_ratio,
+                material.cte,
+            ]
+            for role, material in self.materials.items()
+        }
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()[:20]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,200 @@
+"""Persistent, content-addressed cache of reduced order models.
+
+The one-shot local stage is the expensive half of MORE-Stress, yet its output
+depends only on the unit-block *configuration*: geometry, fine-mesh
+resolution, interpolation scheme and material constants.  Two runs with the
+same configuration rebuild the exact same ROM — so the second run should not
+rebuild it at all.  The :class:`ROMCache` makes that reuse automatic and
+cross-process: every configuration is content-hashed into a key, and ROMs are
+persisted as the standard ``save``/``load`` ``.npz`` bundles under that key.
+
+Wired into :class:`~repro.rom.local_stage.LocalStage` (``cache=`` parameter)
+and :class:`~repro.rom.workflow.MoreStressSimulator` (``rom_cache=``), a warm
+cache turns the local stage into a single file load, which is where the
+speedup of parameter sweeps over arrays, thermal loads and package locations
+compounds (cf. Jia & Cheng on reusable reduced thermal models).
+
+Example
+-------
+>>> cache = ROMCache("~/.cache/repro/roms")        # doctest: +SKIP
+>>> sim = MoreStressSimulator(tsv, rom_cache=cache)  # doctest: +SKIP
+>>> sim.simulate_array(rows=50)  # first run builds + stores the ROM
+>>> sim2 = MoreStressSimulator(tsv, rom_cache=cache)  # doctest: +SKIP
+>>> sim2.simulate_array(rows=80)  # local stage skipped entirely
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import MaterialLibrary
+from repro.mesh.resolution import MeshResolution
+from repro.rom.interpolation import InterpolationScheme
+from repro.rom.rom_model import ReducedOrderModel
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError
+
+_logger = get_logger("rom.cache")
+
+
+def rom_cache_key(
+    block: UnitBlockGeometry,
+    resolution: MeshResolution,
+    scheme: InterpolationScheme,
+    material_fingerprint: str,
+) -> str:
+    """Content hash identifying one ROM configuration.
+
+    Covers everything the local stage's output depends on: the block
+    geometry, whether it contains a TSV, the fine-mesh resolution, the
+    interpolation scheme and the material library fingerprint.
+    """
+    payload = {
+        "tsv": {
+            "diameter": block.tsv.diameter,
+            "height": block.tsv.height,
+            "liner_thickness": block.tsv.liner_thickness,
+            "pitch": block.tsv.pitch,
+        },
+        "has_tsv": block.has_tsv,
+        "resolution": {
+            "n_core": resolution.n_core,
+            "n_liner": resolution.n_liner,
+            "n_outer": resolution.n_outer,
+            "n_z": resolution.n_z,
+            "outer_ratio": resolution.outer_ratio,
+            "z_refinement": resolution.z_refinement,
+        },
+        "nodes_per_axis": list(scheme.nodes_per_axis),
+        "materials": material_fingerprint,
+    }
+    encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:20]
+
+
+@dataclass
+class ROMCache:
+    """Directory-backed cache mapping ROM configurations to saved bundles.
+
+    Attributes
+    ----------
+    directory:
+        Cache directory (created on first write).  Point several processes at
+        the same directory to share one cache.
+    hits, misses:
+        Lookup statistics of this cache instance.
+    """
+
+    directory: str | Path
+    hits: int = field(default=0, init=False)
+    misses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory).expanduser()
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValidationError(
+                f"ROM cache path {self.directory} exists but is not a directory"
+            )
+
+    def _bundle_path(self, key: str) -> Path:
+        """The single key-to-path mapping shared by all lookups and writes."""
+        return Path(self.directory) / f"rom_{key}.npz"
+
+    def path_for(
+        self,
+        block: UnitBlockGeometry,
+        resolution: MeshResolution,
+        scheme: InterpolationScheme,
+        materials: MaterialLibrary,
+    ) -> Path:
+        """Bundle path a ROM of this configuration is stored at."""
+        return self._bundle_path(
+            rom_cache_key(block, resolution, scheme, materials.fingerprint())
+        )
+
+    def get(
+        self,
+        block: UnitBlockGeometry,
+        resolution: MeshResolution,
+        scheme: InterpolationScheme,
+        materials: MaterialLibrary,
+    ) -> ReducedOrderModel | None:
+        """Return the cached ROM for a configuration, or ``None`` on a miss."""
+        path = self.path_for(block, resolution, scheme, materials)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            rom = ReducedOrderModel.load(path)
+        except Exception:
+            # A corrupt or truncated bundle (e.g. leftover from a killed
+            # writer) must degrade to a rebuild, not break every warm run;
+            # the next put() atomically replaces it.
+            _logger.warning(
+                "ROM cache: failed to load %s; treating as a miss", path.name
+            )
+            self.misses += 1
+            return None
+        rom.check_materials(materials)
+        self.hits += 1
+        _logger.info("ROM cache hit: %s", path.name)
+        return rom
+
+    def put(self, rom: ReducedOrderModel) -> Path:
+        """Persist a ROM under its configuration key and return the path.
+
+        The bundle is written to a temporary file and atomically renamed into
+        place, so concurrent readers sharing the cache directory never see a
+        partially written bundle and concurrent writers cannot interleave.
+        """
+        if rom.material_fingerprint is None:
+            raise ValidationError(
+                "cannot cache a ROM without a material fingerprint; build it "
+                "with LocalStage (or set material_fingerprint explicitly)"
+            )
+        key = rom_cache_key(
+            rom.block, rom.resolution, rom.scheme, rom.material_fingerprint
+        )
+        path = self._bundle_path(key)
+        temporary = path.parent / f".tmp-{key}-{uuid.uuid4().hex}.npz"
+        try:
+            rom.save(temporary)
+            os.replace(temporary, path)
+        finally:
+            temporary.unlink(missing_ok=True)
+        _logger.info("ROM cache store: %s", path.name)
+        return path
+
+    def clear(self) -> int:
+        """Delete all cached bundles; returns the number of files removed."""
+        removed = 0
+        directory = Path(self.directory)
+        if directory.is_dir():
+            for path in directory.glob("rom_*.npz"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        directory = Path(self.directory)
+        if not directory.is_dir():
+            return 0
+        return sum(1 for _ in directory.glob("rom_*.npz"))
+
+    @classmethod
+    def from_spec(
+        cls, spec: "ROMCache | str | Path | None"
+    ) -> "ROMCache | None":
+        """Coerce a directory path (or pass through a cache / ``None``)."""
+        if spec is None or isinstance(spec, ROMCache):
+            return spec
+        return cls(spec)
+
+
+__all__ = ["ROMCache", "rom_cache_key"]

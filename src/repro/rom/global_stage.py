@@ -13,6 +13,18 @@ global stage assembles the array-level "abstract" finite element problem:
 * the system is solved with GMRES (the paper's choice) or a direct
   factorisation.
 
+Assembly is batched: the per-block gather maps are stacked into one array and
+all COO triplets are produced with a handful of vectorized operations, so the
+global stage scales to 100x100 arrays without a per-block Python loop.  The
+original per-block loop is retained as :meth:`GlobalStage.assemble_reference`
+for equivalence tests and benchmarks; both produce identical matrices.
+
+Because the reduced problem is linear in the thermal load and the lifted
+matrix depends only on *which* DoFs are constrained (not on their values),
+:meth:`GlobalStage.solve_many` factorises the lifted system once and
+back-substitutes arbitrarily many ``delta_t`` / boundary-value combinations —
+the cheap parameter-sweep mode the paper's one-shot terminology promises.
+
 The resulting :class:`GlobalSolution` reconstructs displacement and stress
 fields inside any block from the local basis functions (Eq. 15).
 """
@@ -21,12 +33,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.fem.boundary import DirichletBC, lift_system
-from repro.fem.solver import LinearSolver, SolveStats, SolverOptions
+from repro.fem.solver import FactorizedOperator, LinearSolver, SolveStats, SolverOptions
 from repro.geometry.array_layout import BlockKind, TSVArrayLayout
 from repro.materials.library import MaterialLibrary
 from repro.rom.global_dofs import GlobalDofManager
@@ -39,7 +52,16 @@ from repro.utils.validation import ValidationError
 _logger = get_logger("rom.global_stage")
 
 
-def _check_rom_consistency(roms: dict[BlockKind, ReducedOrderModel], layout: TSVArrayLayout) -> None:
+def _check_rom_consistency(
+    roms: dict[BlockKind, ReducedOrderModel],
+    layout: TSVArrayLayout,
+    materials: MaterialLibrary | None = None,
+) -> None:
+    if not roms:
+        raise ValidationError(
+            "no reduced order models provided; the global stage needs at "
+            "least one ROM (build one with LocalStage or load a saved bundle)"
+        )
     kinds_present = {kind for _, _, kind in layout.iter_blocks()}
     missing = kinds_present - set(roms)
     if missing:
@@ -51,8 +73,15 @@ def _check_rom_consistency(roms: dict[BlockKind, ReducedOrderModel], layout: TSV
     if len(schemes) > 1:
         raise ValidationError("all ROMs must share the same interpolation scheme")
     pitches = {rom.block.tsv.pitch for rom in roms.values()}
-    if len(pitches) > 1 or abs(pitches.pop() - layout.tsv.pitch) > 1e-9:
+    if len(pitches) > 1:
+        raise ValidationError(
+            f"ROMs have inconsistent pitches: {sorted(pitches)}"
+        )
+    if abs(next(iter(pitches)) - layout.tsv.pitch) > 1e-9:
         raise ValidationError("ROM pitch does not match the layout pitch")
+    if materials is not None:
+        for rom in roms.values():
+            rom.check_materials(materials)
 
 
 @dataclass
@@ -84,9 +113,88 @@ class GlobalStage:
     def assemble(
         self, layout: TSVArrayLayout, delta_t: float
     ) -> tuple[sp.csr_matrix, np.ndarray, GlobalDofManager]:
-        """Assemble the global stiffness matrix and load vector of a layout."""
-        _check_rom_consistency(self.roms, layout)
+        """Assemble the global stiffness matrix and load vector of a layout.
+
+        All per-block contributions are produced by one batched gather over
+        the stacked block DoF maps; no Python loop runs per block.  The
+        triplet ordering matches :meth:`assemble_reference` exactly, so both
+        paths build identical matrices.
+        """
+        _check_rom_consistency(self.roms, layout, self.materials)
         manager = GlobalDofManager(layout, next(iter(self.roms.values())).scheme)
+        rows, cols, data, rhs = self.scatter_contributions(manager, layout, delta_t)
+        num_dofs = manager.num_global_dofs
+        matrix = sp.coo_matrix(
+            (data, (rows, cols)), shape=(num_dofs, num_dofs)
+        ).tocsr()
+        matrix.sum_duplicates()
+        return matrix, rhs, manager
+
+    def scatter_contributions(
+        self, manager: GlobalDofManager, layout: TSVArrayLayout, delta_t: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched COO triplets and load vector of the whole layout.
+
+        Returns ``(rows, cols, data, rhs)`` with the triplets in row-major
+        block order (block 0's ``n x n`` entries first, then block 1's, ...),
+        i.e. the exact order the reference per-block loop emits them in.
+        """
+        n = manager.dofs_per_block
+        num_dofs = manager.num_global_dofs
+
+        # One dense stiffness/load row per block *kind*, indexed per block.
+        kind_order = list(self.roms)
+        kind_codes = {kind: code for code, kind in enumerate(kind_order)}
+        codes = np.fromiter(
+            (kind_codes[kind] for kind in layout.kinds.ravel()),
+            dtype=np.int64,
+            count=layout.num_blocks,
+        )
+        stiffness_stack = np.stack(
+            [self.roms[kind].element_stiffness.reshape(-1) for kind in kind_order]
+        )
+        rhs_stack = np.stack(
+            [self.roms[kind].element_rhs(delta_t) for kind in kind_order]
+        )
+
+        dofs = manager.all_block_dof_ids()  # (num_blocks, n)
+        rows = np.repeat(dofs, n, axis=1).ravel()
+        cols = np.tile(dofs, (1, n)).ravel()
+        data = stiffness_stack[codes].ravel()
+        # bincount accumulates in input-scan order, matching the sequential
+        # per-block np.add.at of the reference loop bit for bit.
+        rhs = np.bincount(
+            dofs.ravel(), weights=rhs_stack[codes].ravel(), minlength=num_dofs
+        )
+        return rows, cols, data, rhs
+
+    def assemble_reference(
+        self, layout: TSVArrayLayout, delta_t: float
+    ) -> tuple[sp.csr_matrix, np.ndarray, GlobalDofManager]:
+        """Per-block loop assembly (the original implementation).
+
+        Kept as the reference the vectorized :meth:`assemble` is validated
+        against (equivalence tests) and benchmarked against (the scaling
+        benchmark).  Produces matrices identical to :meth:`assemble`.
+        """
+        _check_rom_consistency(self.roms, layout, self.materials)
+        manager = GlobalDofManager(
+            layout, next(iter(self.roms.values())).scheme, numbering="loop"
+        )
+        rows, cols, data, rhs = self.scatter_contributions_reference(
+            manager, layout, delta_t
+        )
+        num_dofs = manager.num_global_dofs
+        matrix = sp.coo_matrix(
+            (data, (rows, cols)), shape=(num_dofs, num_dofs)
+        ).tocsr()
+        matrix.sum_duplicates()
+        return matrix, rhs, manager
+
+    def scatter_contributions_reference(
+        self, manager: GlobalDofManager, layout: TSVArrayLayout, delta_t: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-block loop version of :meth:`scatter_contributions`."""
         n = manager.dofs_per_block
         num_dofs = manager.num_global_dofs
 
@@ -108,16 +216,12 @@ class GlobalStage:
             cols_list.append(np.tile(dofs, n))
             data_list.append(element_stiffness[kind].ravel())
             np.add.at(rhs, dofs, element_rhs[kind])
-
-        matrix = sp.coo_matrix(
-            (
-                np.concatenate(data_list),
-                (np.concatenate(rows_list), np.concatenate(cols_list)),
-            ),
-            shape=(num_dofs, num_dofs),
-        ).tocsr()
-        matrix.sum_duplicates()
-        return matrix, rhs, manager
+        return (
+            np.concatenate(rows_list),
+            np.concatenate(cols_list),
+            np.concatenate(data_list),
+            rhs,
+        )
 
     # ------------------------------------------------------------------ #
     # boundary conditions
@@ -229,6 +333,137 @@ class GlobalStage:
             timings=timings,
             solver_stats=solver.last_stats,
         )
+
+    def solve_many(
+        self,
+        layout: TSVArrayLayout,
+        delta_ts: Sequence[float],
+        boundary_condition: DirichletBC | str = "clamped",
+        displacement_fields: Callable | Sequence[Callable] | None = None,
+    ) -> list["GlobalSolution"]:
+        """Solve one layout for many thermal loads with a single factorisation.
+
+        The reduced right-hand side is linear in ``delta_t`` and the lifted
+        matrix depends only on *which* DoFs are constrained, so the layout is
+        assembled and the lifted system factorised exactly once; every
+        ``(delta_t, boundary values)`` case is then a cheap back-substitution.
+        This is the batched mode of the global stage for thermal sweeps and
+        for sub-modeling variants that prescribe different displacements on
+        the same boundary DoFs.
+
+        Parameters
+        ----------
+        layout:
+            The TSV array layout to analyse.
+        delta_ts:
+            Thermal loads, one per case.
+        boundary_condition:
+            ``"clamped"``, ``"submodel"`` or an explicit :class:`DirichletBC`
+            shared by all cases (same meaning as in :meth:`solve`).
+        displacement_fields:
+            For ``"submodel"``: either a single callable shared by all cases
+            or one callable per ``delta_t``.  All sub-model variants constrain
+            the same outer-boundary DoFs, so the factorisation is still shared.
+
+        Returns
+        -------
+        list of :class:`GlobalSolution`
+            One solution per thermal load, in input order.  All solutions
+            share the assembled system's :class:`GlobalDofManager` and a
+            common :class:`StageTimings` record.
+        """
+        delta_ts = [float(delta_t) for delta_t in delta_ts]
+        if not delta_ts:
+            raise ValidationError("solve_many needs at least one thermal load")
+
+        timings = StageTimings()
+        with timings.measure("assembly"):
+            # Assemble at unit load; per-case right-hand sides are scaled from
+            # it (the load vector is linear in delta_t, Eq. 19).
+            matrix, unit_rhs, manager = self.assemble(layout, 1.0)
+
+        with timings.measure("boundary_conditions"):
+            if isinstance(boundary_condition, DirichletBC):
+                bcs = [boundary_condition] * len(delta_ts)
+            elif boundary_condition == "clamped":
+                bcs = [self.clamped_top_bottom_bc(manager)] * len(delta_ts)
+            elif boundary_condition == "submodel":
+                if displacement_fields is None:
+                    raise ValidationError(
+                        "displacement_fields is required for the 'submodel' BC"
+                    )
+                if callable(displacement_fields):
+                    # One shared field: build the (identical) BC once.
+                    bcs = [
+                        self.prescribed_boundary_bc(manager, displacement_fields)
+                    ] * len(delta_ts)
+                else:
+                    fields = list(displacement_fields)
+                    if len(fields) != len(delta_ts):
+                        raise ValidationError(
+                            f"got {len(fields)} displacement fields for "
+                            f"{len(delta_ts)} thermal loads"
+                        )
+                    bcs = [self.prescribed_boundary_bc(manager, f) for f in fields]
+            else:
+                raise ValidationError(
+                    "boundary_condition must be 'clamped', 'submodel' or a DirichletBC"
+                )
+            constrained = bcs[0].dofs
+            for bc in bcs[1:]:
+                if bc.dofs is not constrained and not np.array_equal(bc.dofs, constrained):
+                    raise ValidationError(
+                        "all cases of solve_many must constrain the same DoFs "
+                        "(the lifted matrix is shared)"
+                    )
+            # Lifting the matrix only needs the constrained DoF set; per-case
+            # values enter through the right-hand side below.
+            lifted_matrix, _ = lift_system(
+                matrix, np.zeros(manager.num_global_dofs), bcs[0]
+            )
+
+        with timings.measure("factorize"):
+            operator = FactorizedOperator(lifted_matrix)
+
+        with timings.measure("solve"):
+            rhs_block = np.empty((manager.num_global_dofs, len(delta_ts)))
+            for case, (delta_t, bc) in enumerate(zip(delta_ts, bcs)):
+                rhs_block[:, case] = delta_t * unit_rhs
+                rhs_block[bc.dofs, case] = bc.values
+            solution_block = operator.solve(rhs_block)
+            residuals = np.linalg.norm(
+                lifted_matrix @ solution_block - rhs_block, axis=0
+            )
+
+        _logger.info(
+            "global stage (batched): %dx%d blocks, %d reduced dofs, "
+            "%d loads, factorize=%.3fs solve=%.3fs",
+            layout.rows,
+            layout.cols,
+            manager.num_global_dofs,
+            len(delta_ts),
+            timings.get("factorize"),
+            timings.get("solve"),
+        )
+        return [
+            GlobalSolution(
+                layout=layout,
+                roms=self.roms,
+                materials=self.materials,
+                manager=manager,
+                nodal_displacement=solution_block[:, case].copy(),
+                delta_t=delta_ts[case],
+                timings=timings,
+                solver_stats=SolveStats(
+                    method="direct-batched",
+                    iterations=1,
+                    residual_norm=float(residuals[case]),
+                    converged=True,
+                    unknowns=manager.num_global_dofs,
+                ),
+            )
+            for case in range(len(delta_ts))
+        ]
 
 
 @dataclass

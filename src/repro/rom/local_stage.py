@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.geometry.unit_block import UnitBlockGeometry
 from repro.materials.library import MaterialLibrary
 from repro.mesh.block_mesher import mesh_unit_block
 from repro.mesh.resolution import MeshResolution
+from repro.rom.cache import ROMCache
 from repro.rom.interpolation import InterpolationScheme
 from repro.rom.rom_model import ReducedOrderModel
 from repro.utils.logging import get_logger
@@ -60,23 +62,44 @@ class LocalStage:
         Number of local problems back-substituted per batch (memory knob;
         the factorisation itself is always reused, matching the paper's
         "decompose once, reuse for all local problems").
+    cache:
+        Optional :class:`~repro.rom.cache.ROMCache` (or a cache directory).
+        When set, :meth:`build` first looks the configuration up in the cache
+        and, on a hit, skips the local stage entirely; on a miss the freshly
+        built ROM is stored for future runs.
     """
 
     materials: MaterialLibrary
     resolution: MeshResolution | str = "coarse"
     scheme: InterpolationScheme = InterpolationScheme((4, 4, 4))
     rhs_batch_size: int = 64
+    cache: "ROMCache | str | Path | None" = None
 
     def __post_init__(self) -> None:
         self.resolution = MeshResolution.from_spec(self.resolution)
         if isinstance(self.scheme, tuple):
             self.scheme = InterpolationScheme(self.scheme)
+        self.cache = ROMCache.from_spec(self.cache)
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def build(self, block: UnitBlockGeometry) -> ReducedOrderModel:
-        """Run the local stage for one unit block and return its ROM."""
+        """Run the local stage for one unit block and return its ROM.
+
+        With a :attr:`cache` configured this is the cache-aware entry point:
+        a hit returns the persisted ROM without meshing or solving anything.
+        """
+        if self.cache is not None:
+            cached = self.cache.get(block, self.resolution, self.scheme, self.materials)
+            if cached is not None:
+                return cached
+        rom = self._build_uncached(block)
+        if self.cache is not None:
+            self.cache.put(rom)
+        return rom
+
+    def _build_uncached(self, block: UnitBlockGeometry) -> ReducedOrderModel:
         start = time.perf_counter()
         timings = StageTimings()
 
@@ -123,6 +146,7 @@ class LocalStage:
             element_load=projected_load[:n],
             thermal_coupling=projected_stiffness[:n, n],
             local_stage_seconds=elapsed,
+            material_fingerprint=self.materials.fingerprint(),
         )
 
     def build_pair(

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.geometry.tsv import TSVGeometry
 from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import MaterialLibrary
 from repro.mesh.resolution import MeshResolution
 from repro.mesh.structured import StructuredHexMesh
 from repro.rom.interpolation import InterpolationScheme
@@ -62,6 +63,13 @@ class ReducedOrderModel:
         and kept for exactness / verification.
     local_stage_seconds:
         Wall-clock time spent building this ROM.
+    material_fingerprint:
+        Content hash of the material library the ROM was built with (see
+        :meth:`~repro.materials.library.MaterialLibrary.fingerprint`).  The
+        element matrices bake the material constants in, so using a ROM with
+        a different library silently reconstructs wrong stresses — the
+        fingerprint lets consumers detect the mismatch.  ``None`` only for
+        legacy bundles saved before fingerprints existed.
     """
 
     block: UnitBlockGeometry
@@ -73,6 +81,7 @@ class ReducedOrderModel:
     element_load: np.ndarray
     thermal_coupling: np.ndarray
     local_stage_seconds: float = 0.0
+    material_fingerprint: str | None = None
 
     def __post_init__(self) -> None:
         n = self.scheme.num_element_dofs
@@ -160,6 +169,25 @@ class ReducedOrderModel:
         """
         return float(delta_t) * (self.element_load - self.thermal_coupling)
 
+    def check_materials(self, materials: MaterialLibrary) -> None:
+        """Validate that ``materials`` matches the library this ROM was built with.
+
+        Raises
+        ------
+        ValidationError
+            If both fingerprints are known and differ.  Legacy ROMs without a
+            stored fingerprint pass silently (nothing to compare against).
+        """
+        if self.material_fingerprint is None:
+            return
+        current = materials.fingerprint()
+        if current != self.material_fingerprint:
+            raise ValidationError(
+                "ROM was built with a different material library "
+                f"(fingerprint {self.material_fingerprint}, library has "
+                f"{current}); rebuild the ROM or use the original library"
+            )
+
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
@@ -194,6 +222,7 @@ class ReducedOrderModel:
             },
             "tag_roles": {str(tag): role for tag, role in self.mesh.tag_roles.items()},
             "local_stage_seconds": self.local_stage_seconds,
+            "material_fingerprint": self.material_fingerprint,
         }
         return save_npz_bundle(path, arrays, metadata)
 
@@ -222,6 +251,7 @@ class ReducedOrderModel:
             element_load=np.asarray(arrays["element_load"], dtype=float),
             thermal_coupling=np.asarray(arrays["thermal_coupling"], dtype=float),
             local_stage_seconds=float(metadata.get("local_stage_seconds", 0.0)),
+            material_fingerprint=metadata.get("material_fingerprint"),
         )
 
 

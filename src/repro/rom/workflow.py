@@ -10,6 +10,7 @@ the paper advertises.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -22,6 +23,7 @@ from repro.geometry.unit_block import UnitBlockGeometry
 from repro.materials.library import MaterialLibrary
 from repro.materials.temperature import ThermalLoad
 from repro.mesh.resolution import MeshResolution
+from repro.rom.cache import ROMCache
 from repro.rom.global_stage import GlobalSolution, GlobalStage
 from repro.rom.interpolation import InterpolationScheme
 from repro.rom.local_stage import LocalStage
@@ -91,6 +93,11 @@ class MoreStressSimulator:
         default ``(4, 4, 4)`` as in the paper's main experiments).
     solver_options:
         Options of the global linear solve (default: GMRES, as in the paper).
+    rom_cache:
+        Optional :class:`~repro.rom.cache.ROMCache` (or a cache directory).
+        When set, the one-shot local stage is skipped entirely whenever a ROM
+        of this configuration was already built — by this process or any
+        earlier one sharing the cache directory.
 
     Example
     -------
@@ -107,32 +114,41 @@ class MoreStressSimulator:
     solver_options: SolverOptions = field(
         default_factory=lambda: SolverOptions(method="gmres", rtol=1e-9)
     )
+    rom_cache: "ROMCache | str | Path | None" = None
     _roms: dict[BlockKind, ReducedOrderModel] = field(default_factory=dict, repr=False)
     _local_stage_seconds: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
         self.mesh_resolution = MeshResolution.from_spec(self.mesh_resolution)
         self.scheme = InterpolationScheme(tuple(self.nodes_per_axis))
+        self.rom_cache = ROMCache.from_spec(self.rom_cache)
 
     # ------------------------------------------------------------------ #
     # local stage management
     # ------------------------------------------------------------------ #
     def build_roms(self, include_dummy: bool = False) -> dict[BlockKind, ReducedOrderModel]:
-        """Build (or return cached) reduced order models for this configuration."""
+        """Build (or return cached) reduced order models for this configuration.
+
+        With :attr:`rom_cache` set, persisted ROMs short-circuit the build;
+        :attr:`local_stage_seconds` then accounts only the actual wall-clock
+        time spent (a cache hit costs one file load, not a rebuild).
+        """
         stage = LocalStage(
             materials=self.materials,
             resolution=self.mesh_resolution,
             scheme=self.scheme,
+            cache=self.rom_cache,
         )
         block = UnitBlockGeometry(tsv=self.tsv, has_tsv=True)
-        if BlockKind.TSV not in self._roms:
-            rom = stage.build(block)
-            self._roms[BlockKind.TSV] = rom
-            self._local_stage_seconds += rom.local_stage_seconds
-        if include_dummy and BlockKind.DUMMY not in self._roms:
-            rom = stage.build(block.as_dummy())
-            self._roms[BlockKind.DUMMY] = rom
-            self._local_stage_seconds += rom.local_stage_seconds
+        wanted = [(BlockKind.TSV, block)]
+        if include_dummy:
+            wanted.append((BlockKind.DUMMY, block.as_dummy()))
+        for kind, kind_block in wanted:
+            if kind in self._roms:
+                continue
+            start = time.perf_counter()
+            self._roms[kind] = stage.build(kind_block)
+            self._local_stage_seconds += time.perf_counter() - start
         return dict(self._roms)
 
     @property
@@ -150,12 +166,20 @@ class MoreStressSimulator:
         return paths
 
     def load_roms(self, directory: str | Path) -> dict[BlockKind, ReducedOrderModel]:
-        """Load previously saved ROMs from ``directory`` into the cache."""
+        """Load previously saved ROMs from ``directory`` into the cache.
+
+        Loaded bundles are validated against this simulator's material
+        library: a ROM built with different material constants would silently
+        reconstruct wrong stresses, so a fingerprint mismatch raises
+        :class:`ValidationError` instead.
+        """
         directory = Path(directory)
         for kind in (BlockKind.TSV, BlockKind.DUMMY):
             path = directory / f"rom_{kind.value}.npz"
             if path.exists():
-                self._roms[kind] = ReducedOrderModel.load(path)
+                rom = ReducedOrderModel.load(path)
+                rom.check_materials(self.materials)
+                self._roms[kind] = rom
         if not self._roms:
             raise ValidationError(f"no ROM files found in {directory}")
         return dict(self._roms)
@@ -216,6 +240,51 @@ class MoreStressSimulator:
             global_stage_seconds=timer.elapsed,
             peak_memory_bytes=tracker.peak_bytes,
         )
+
+    def simulate_load_sweep(
+        self,
+        rows: int,
+        delta_ts,
+        cols: int | None = None,
+        boundary: str = "clamped",
+        layout: TSVArrayLayout | None = None,
+        displacement_fields=None,
+    ) -> list[SimulationResult]:
+        """Simulate one array under many thermal loads with one factorisation.
+
+        Thin wrapper over :meth:`GlobalStage.solve_many`: the global system is
+        assembled and factorised once and every ``delta_t`` (and, for
+        ``boundary="submodel"``, every displacement-field variant) is a cheap
+        back-substitution.  Returns one :class:`SimulationResult` per load;
+        the shared global-stage wall-clock time is attributed to each result.
+        """
+        if layout is None:
+            layout = TSVArrayLayout.full(self.tsv, rows=rows, cols=cols)
+        include_dummy = layout.num_dummy_blocks > 0
+        self.build_roms(include_dummy=include_dummy)
+
+        stage = GlobalStage(
+            roms=self._roms,
+            materials=self.materials,
+            solver_options=self.solver_options,
+        )
+        timer = Timer()
+        with PeakMemoryTracker() as tracker, timer:
+            solutions = stage.solve_many(
+                layout,
+                [dt.delta_t if isinstance(dt, ThermalLoad) else float(dt) for dt in delta_ts],
+                boundary_condition=boundary,
+                displacement_fields=displacement_fields,
+            )
+        return [
+            SimulationResult(
+                solution=solution,
+                local_stage_seconds=self.local_stage_seconds,
+                global_stage_seconds=timer.elapsed,
+                peak_memory_bytes=tracker.peak_bytes,
+            )
+            for solution in solutions
+        ]
 
 
 __all__ = ["MoreStressSimulator", "SimulationResult"]

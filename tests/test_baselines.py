@@ -3,12 +3,23 @@
 import numpy as np
 import pytest
 
+from repro.baselines.coarse_model import ROLE_VOID, CoarseChipletModel
 from repro.baselines.full_fem import FullFEMReference
 from repro.baselines.linear_superposition import LinearSuperpositionMethod
 from repro.geometry.array_layout import TSVArrayLayout
+from repro.geometry.package import ChipletPackage
 from repro.utils.validation import ValidationError
 
 DELTA_T = -250.0
+
+
+class TestCoarseChipletModelLibraryIsolation:
+    def test_void_role_does_not_leak_into_the_callers_library(self, materials):
+        fingerprint_before = materials.fingerprint()
+        model = CoarseChipletModel(ChipletPackage.scaled_default(1.0), materials)
+        assert ROLE_VOID in model.materials
+        assert ROLE_VOID not in materials
+        assert materials.fingerprint() == fingerprint_before
 
 
 class TestFullFEMReference:

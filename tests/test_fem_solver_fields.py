@@ -8,7 +8,12 @@ from repro.fem.assembly import assemble_stiffness, assemble_thermal_load
 from repro.fem.boundary import DirichletBC, reduce_system
 from repro.fem.fields import FieldEvaluator, von_mises
 from repro.fem.sampling import PlaneSampler, midplane_grid_points
-from repro.fem.solver import FactorizedOperator, LinearSolver, SolverOptions
+from repro.fem.solver import (
+    FactorizedOperator,
+    LinearSolver,
+    SolverOptions,
+    _jacobi_preconditioner,
+)
 from repro.geometry.array_layout import TSVArrayLayout
 from repro.utils.validation import ValidationError
 
@@ -80,6 +85,66 @@ class TestLinearSolver:
         matrix, _ = _spd_system()
         with pytest.raises(ValidationError):
             LinearSolver().solve(matrix, np.ones(3))
+
+    def test_gmres_fallback_stats_describe_returned_solution(self):
+        """A failed iterative solve falls back to direct — and says so."""
+        rng = np.random.default_rng(7)
+        matrix = sp.csr_matrix(rng.normal(size=(60, 60)) + 60 * np.eye(60))
+        rhs = rng.normal(size=60)
+        solver = LinearSolver(
+            SolverOptions(method="gmres", rtol=1e-13, max_iterations=1, gmres_restart=2)
+        )
+        solution = solver.solve(matrix, rhs)
+        stats = solver.last_stats
+        assert stats.method == "gmres+direct-fallback"
+        assert stats.converged
+        # The recorded residual belongs to the direct solution, not the
+        # aborted iterative attempt.
+        np.testing.assert_allclose(matrix @ solution, rhs, atol=1e-8)
+        assert stats.residual_norm <= 1e-8 * np.linalg.norm(rhs)
+
+    def test_cg_fallback_stats_describe_returned_solution(self):
+        matrix, rhs = _spd_system(size=80, seed=3)
+        solver = LinearSolver(SolverOptions(method="cg", rtol=1e-13, max_iterations=1))
+        solution = solver.solve(matrix, rhs)
+        stats = solver.last_stats
+        assert stats.method == "cg+direct-fallback"
+        assert stats.converged
+        np.testing.assert_allclose(matrix @ solution, rhs, atol=1e-8)
+
+    def test_converged_iterative_stats_unchanged(self):
+        matrix, rhs = _spd_system()
+        solver = LinearSolver(SolverOptions(method="gmres", rtol=1e-10))
+        solver.solve(matrix, rhs)
+        assert solver.last_stats.method == "gmres"
+        assert solver.last_stats.converged
+
+
+class TestJacobiPreconditioner:
+    def test_near_zero_diagonal_clamped_relative_to_mean(self):
+        """A nearly singular row must not blow up the preconditioner."""
+        diagonal = np.full(10, 1e8)
+        diagonal[-1] = 1e-12  # tiny but nonzero: the old absolute threshold missed it
+        matrix = sp.diags(diagonal).tocsr()
+        preconditioner = _jacobi_preconditioner(matrix)
+        applied = preconditioner.matvec(np.ones(10))
+        # Healthy rows are scaled by their true inverse ...
+        np.testing.assert_allclose(applied[:-1], 1e-8)
+        # ... and the degenerate row gets the neutral mean-diagonal scaling
+        # instead of an ~1e12 amplification.
+        assert abs(applied[-1]) < 1e-6
+
+    def test_exact_zero_diagonal_clamped(self):
+        diagonal = np.array([2.0, 0.0, 4.0])
+        matrix = sp.diags(diagonal).tocsr()
+        applied = _jacobi_preconditioner(matrix).matvec(np.ones(3))
+        assert np.all(np.isfinite(applied))
+        np.testing.assert_allclose(applied[0], 0.5)
+
+    def test_all_zero_diagonal_falls_back_to_identity(self):
+        matrix = sp.csr_matrix((3, 3))
+        applied = _jacobi_preconditioner(matrix).matvec(np.arange(3.0))
+        np.testing.assert_allclose(applied, np.arange(3.0))
 
 
 class TestVonMises:

@@ -1,0 +1,219 @@
+"""Unit tests for the persistent ROM cache and the material fingerprint."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.geometry.tsv import TSVGeometry
+from repro.geometry.unit_block import UnitBlockGeometry
+from repro.materials.library import MaterialLibrary
+from repro.materials.material import IsotropicMaterial
+from repro.mesh.resolution import MeshResolution
+from repro.rom.cache import ROMCache, rom_cache_key
+from repro.rom.interpolation import InterpolationScheme
+from repro.rom.local_stage import LocalStage
+from repro.rom.rom_model import ReducedOrderModel
+from repro.rom.workflow import MoreStressSimulator
+from repro.utils.validation import ValidationError
+
+SCHEME_222 = InterpolationScheme((2, 2, 2))
+
+
+@pytest.fixture()
+def altered_materials() -> MaterialLibrary:
+    """Default library with a stiffer copper (a different technology)."""
+    library = MaterialLibrary.default()
+    library.add(
+        "copper",
+        IsotropicMaterial(
+            name="copper", young_modulus=150.0e3, poisson_ratio=0.35, cte=17.0e-6
+        ),
+    )
+    return library
+
+
+@pytest.fixture(scope="module")
+def fast_rom(materials, tsv15, tiny_resolution):
+    """A ROM cheap enough to rebuild inside individual tests."""
+    stage = LocalStage(materials=materials, resolution=tiny_resolution, scheme=SCHEME_222)
+    return stage.build(UnitBlockGeometry(tsv=tsv15, has_tsv=True))
+
+
+class TestMaterialFingerprint:
+    def test_deterministic(self, materials):
+        assert materials.fingerprint() == MaterialLibrary.default().fingerprint()
+
+    def test_sensitive_to_constants(self, materials, altered_materials):
+        assert materials.fingerprint() != altered_materials.fingerprint()
+
+    def test_sensitive_to_roles(self, materials):
+        subset = materials.subset(["silicon", "copper", "liner"])
+        assert subset.fingerprint() != materials.fingerprint()
+
+    def test_rom_records_fingerprint(self, fast_rom, materials):
+        assert fast_rom.material_fingerprint == materials.fingerprint()
+
+    def test_fingerprint_survives_save_load(self, fast_rom, tmp_path):
+        path = fast_rom.save(tmp_path / "rom")
+        loaded = ReducedOrderModel.load(path)
+        assert loaded.material_fingerprint == fast_rom.material_fingerprint
+
+    def test_check_materials_accepts_match(self, fast_rom, materials):
+        fast_rom.check_materials(materials)
+
+    def test_check_materials_rejects_mismatch(self, fast_rom, altered_materials):
+        with pytest.raises(ValidationError, match="different material library"):
+            fast_rom.check_materials(altered_materials)
+
+    def test_legacy_rom_without_fingerprint_passes(self, fast_rom, tmp_path, altered_materials):
+        legacy = dataclasses.replace(fast_rom, material_fingerprint=None)
+        path = legacy.save(tmp_path / "legacy")
+        loaded = ReducedOrderModel.load(path)
+        assert loaded.material_fingerprint is None
+        loaded.check_materials(altered_materials)  # nothing to compare: no raise
+
+
+class TestRomCacheKey:
+    def test_stable(self, tsv15, tiny_resolution, materials):
+        block = UnitBlockGeometry(tsv=tsv15)
+        fingerprint = materials.fingerprint()
+        assert rom_cache_key(block, tiny_resolution, SCHEME_222, fingerprint) == (
+            rom_cache_key(block, tiny_resolution, SCHEME_222, fingerprint)
+        )
+
+    def test_sensitive_to_configuration(self, tsv15, tsv10, tiny_resolution, materials, altered_materials):
+        block = UnitBlockGeometry(tsv=tsv15)
+        fingerprint = materials.fingerprint()
+        base = rom_cache_key(block, tiny_resolution, SCHEME_222, fingerprint)
+        variants = [
+            rom_cache_key(block.as_dummy(), tiny_resolution, SCHEME_222, fingerprint),
+            rom_cache_key(
+                UnitBlockGeometry(tsv=tsv10), tiny_resolution, SCHEME_222, fingerprint
+            ),
+            rom_cache_key(
+                block, MeshResolution.preset("coarse"), SCHEME_222, fingerprint
+            ),
+            rom_cache_key(
+                block, tiny_resolution, InterpolationScheme((3, 3, 3)), fingerprint
+            ),
+            rom_cache_key(
+                block, tiny_resolution, SCHEME_222, altered_materials.fingerprint()
+            ),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+
+class TestROMCache:
+    def test_miss_then_hit(self, materials, tsv15, tiny_resolution, tmp_path):
+        cache = ROMCache(tmp_path / "cache")
+        stage = LocalStage(
+            materials=materials,
+            resolution=tiny_resolution,
+            scheme=SCHEME_222,
+            cache=cache,
+        )
+        block = UnitBlockGeometry(tsv=tsv15)
+        built = stage.build(block)
+        assert (cache.misses, cache.hits) == (1, 0)
+        assert len(cache) == 1
+
+        cached = stage.build(block)
+        assert (cache.misses, cache.hits) == (1, 1)
+        np.testing.assert_array_equal(cached.basis, built.basis)
+        np.testing.assert_array_equal(cached.element_stiffness, built.element_stiffness)
+        assert cached.material_fingerprint == built.material_fingerprint
+
+    def test_cache_shared_across_simulators(self, materials, tsv15, tmp_path):
+        cache_dir = tmp_path / "shared_cache"
+        first = MoreStressSimulator(
+            tsv15, materials, mesh_resolution="tiny", nodes_per_axis=(2, 2, 2),
+            rom_cache=cache_dir,
+        )
+        first.build_roms()
+        assert first.rom_cache.misses == 1
+
+        second = MoreStressSimulator(
+            tsv15, materials, mesh_resolution="tiny", nodes_per_axis=(2, 2, 2),
+            rom_cache=cache_dir,
+        )
+        second.build_roms()
+        assert second.rom_cache.hits == 1
+        assert second.rom_cache.misses == 0
+
+    def test_different_materials_do_not_hit(
+        self, materials, altered_materials, tsv15, tiny_resolution, tmp_path
+    ):
+        cache = ROMCache(tmp_path / "cache")
+        block = UnitBlockGeometry(tsv=tsv15)
+        LocalStage(
+            materials=materials, resolution=tiny_resolution, scheme=SCHEME_222,
+            cache=cache,
+        ).build(block)
+        assert cache.get(block, tiny_resolution, SCHEME_222, altered_materials) is None
+
+    def test_put_requires_fingerprint(self, fast_rom, tmp_path):
+        cache = ROMCache(tmp_path / "cache")
+        with pytest.raises(ValidationError, match="material fingerprint"):
+            cache.put(dataclasses.replace(fast_rom, material_fingerprint=None))
+
+    def test_clear(self, fast_rom, tmp_path):
+        cache = ROMCache(tmp_path / "cache")
+        cache.put(fast_rom)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_corrupt_bundle_degrades_to_miss(
+        self, materials, tsv15, tiny_resolution, fast_rom, tmp_path
+    ):
+        cache = ROMCache(tmp_path / "cache")
+        path = cache.put(fast_rom)
+        path.write_bytes(b"not a zip archive")  # e.g. a killed writer's leftovers
+        block = UnitBlockGeometry(tsv=tsv15)
+        assert cache.get(block, tiny_resolution, SCHEME_222, materials) is None
+        assert cache.misses == 1
+        # A subsequent put atomically replaces the corrupt bundle and heals it.
+        cache.put(fast_rom)
+        assert cache.get(block, tiny_resolution, SCHEME_222, materials) is not None
+
+    def test_rejects_file_as_directory(self, tmp_path):
+        file_path = tmp_path / "not_a_dir"
+        file_path.write_text("")
+        with pytest.raises(ValidationError, match="not a directory"):
+            ROMCache(file_path)
+
+    def test_from_spec(self, tmp_path):
+        assert ROMCache.from_spec(None) is None
+        cache = ROMCache(tmp_path)
+        assert ROMCache.from_spec(cache) is cache
+        coerced = ROMCache.from_spec(tmp_path / "dir")
+        assert isinstance(coerced, ROMCache)
+
+
+class TestMismatchedLibraryRejection:
+    def test_load_roms_rejects_mismatched_library(
+        self, materials, altered_materials, tsv15, tmp_path
+    ):
+        builder = MoreStressSimulator(
+            tsv15, materials, mesh_resolution="tiny", nodes_per_axis=(2, 2, 2)
+        )
+        builder.build_roms()
+        builder.save_roms(tmp_path / "roms")
+
+        consumer = MoreStressSimulator(
+            tsv15, altered_materials, mesh_resolution="tiny", nodes_per_axis=(2, 2, 2)
+        )
+        with pytest.raises(ValidationError, match="different material library"):
+            consumer.load_roms(tmp_path / "roms")
+
+    def test_global_stage_rejects_mismatched_library(
+        self, fast_rom, altered_materials, tsv15
+    ):
+        from repro.geometry.array_layout import BlockKind, TSVArrayLayout
+        from repro.rom.global_stage import GlobalStage
+
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=1)
+        stage = GlobalStage({BlockKind.TSV: fast_rom}, altered_materials)
+        with pytest.raises(ValidationError, match="different material library"):
+            stage.assemble(layout, -250.0)

@@ -1,10 +1,13 @@
 """Unit tests for the global DoF numbering, global stage and field reconstruction."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.fem.solver import SolverOptions
 from repro.geometry.array_layout import BlockKind, TSVArrayLayout
+from repro.geometry.unit_block import UnitBlockGeometry
 from repro.rom.global_dofs import GlobalDofManager
 from repro.rom.global_stage import GlobalStage
 from repro.rom.reconstruction import BlockFieldSampler, block_midplane_points
@@ -78,6 +81,35 @@ class TestGlobalDofManager:
         manager = GlobalDofManager(layout, scheme_333)
         with pytest.raises(ValidationError):
             manager.block_node_ids(3, 3)
+        with pytest.raises(ValidationError):
+            manager.block_node_ids(-1, 0)
+
+    def test_all_block_dof_ids_matches_per_block(self, tsv15, scheme_333):
+        layout = TSVArrayLayout.full(tsv15, rows=2, cols=3)
+        manager = GlobalDofManager(layout, scheme_333)
+        stacked = manager.all_block_dof_ids()
+        assert stacked.shape == (layout.num_blocks, manager.dofs_per_block)
+        for index, (row, col, _) in enumerate(layout.iter_blocks()):
+            np.testing.assert_array_equal(stacked[index], manager.block_dof_ids(row, col))
+
+    def test_invalid_numbering_mode_rejected(self, tsv15, scheme_333):
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=1)
+        with pytest.raises(ValidationError):
+            GlobalDofManager(layout, scheme_333, numbering="fancy")
+
+
+class TestVectorizedNumberingEquivalence:
+    """The vectorized numbering must reproduce the reference loop exactly."""
+
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (1, 4), (3, 2), (4, 4)])
+    def test_numbering_identical_to_loop(self, tsv15, scheme_333, rows, cols):
+        layout = TSVArrayLayout.full(tsv15, rows=rows, cols=cols)
+        vectorized = GlobalDofManager(layout, scheme_333)
+        loop = GlobalDofManager(layout, scheme_333, numbering="loop")
+        np.testing.assert_array_equal(vectorized._node_keys, loop._node_keys)
+        np.testing.assert_array_equal(
+            vectorized._block_node_ids, loop._block_node_ids
+        )
 
 
 class TestGlobalStageAssembly:
@@ -108,6 +140,143 @@ class TestGlobalStageAssembly:
         _, rhs_full, _ = stage.assemble(layout, DELTA_T)
         _, rhs_half, _ = stage.assemble(layout, DELTA_T / 2)
         np.testing.assert_allclose(rhs_half, 0.5 * rhs_full)
+
+    def test_empty_roms_rejected(self, materials, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=1)
+        stage = GlobalStage({}, materials)
+        with pytest.raises(ValidationError, match="no reduced order models"):
+            stage.assemble(layout, DELTA_T)
+        with pytest.raises(ValidationError, match="no reduced order models"):
+            stage.solve(layout, DELTA_T)
+
+    def test_inconsistent_rom_pitches_reported(self, rom_tsv_tiny, materials, tsv15, tsv10):
+        other = dataclasses.replace(
+            rom_tsv_tiny, block=UnitBlockGeometry(tsv=tsv10, has_tsv=False)
+        )
+        stage = GlobalStage(
+            {BlockKind.TSV: rom_tsv_tiny, BlockKind.DUMMY: other}, materials
+        )
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=1)
+        with pytest.raises(ValidationError, match="inconsistent pitches"):
+            stage.assemble(layout, DELTA_T)
+
+    def test_layout_pitch_mismatch_reported(self, rom_tsv_tiny, materials, tsv10):
+        layout = TSVArrayLayout.full(tsv10, rows=1, cols=1)
+        stage = GlobalStage({BlockKind.TSV: rom_tsv_tiny}, materials)
+        with pytest.raises(ValidationError, match="does not match the layout pitch"):
+            stage.assemble(layout, DELTA_T)
+
+
+class TestVectorizedAssemblyEquivalence:
+    """Batched assembly must be bit-identical to the reference block loop."""
+
+    def _compare(self, stage, layout):
+        matrix_v, rhs_v, manager_v = stage.assemble(layout, DELTA_T)
+        matrix_r, rhs_r, manager_r = stage.assemble_reference(layout, DELTA_T)
+        assert manager_v.num_global_dofs == manager_r.num_global_dofs
+        matrix_v.sort_indices()
+        matrix_r.sort_indices()
+        np.testing.assert_array_equal(matrix_v.indptr, matrix_r.indptr)
+        np.testing.assert_array_equal(matrix_v.indices, matrix_r.indices)
+        np.testing.assert_array_equal(matrix_v.data, matrix_r.data)
+        np.testing.assert_array_equal(rhs_v, rhs_r)
+
+    def test_single_kind_layout(self, rom_tsv_tiny, materials, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=3, cols=2)
+        stage = GlobalStage({BlockKind.TSV: rom_tsv_tiny}, materials)
+        self._compare(stage, layout)
+
+    def test_mixed_kind_layout(self, rom_tsv_tiny, rom_dummy_tiny, materials, tsv15):
+        layout = TSVArrayLayout.with_dummy_ring(tsv15, rows=2, cols=2, ring_width=1)
+        stage = GlobalStage(
+            {BlockKind.TSV: rom_tsv_tiny, BlockKind.DUMMY: rom_dummy_tiny}, materials
+        )
+        self._compare(stage, layout)
+
+
+class TestSolveMany:
+    def test_matches_individual_solves(self, rom_tsv_tiny, materials, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=2, cols=2)
+        stage = GlobalStage(
+            {BlockKind.TSV: rom_tsv_tiny}, materials, SolverOptions(method="direct")
+        )
+        loads = [DELTA_T, -100.0, 50.0]
+        batched = stage.solve_many(layout, loads)
+        assert len(batched) == len(loads)
+        for delta_t, solution in zip(loads, batched):
+            assert solution.delta_t == delta_t
+            reference = stage.solve(layout, delta_t)
+            scale = max(np.abs(reference.nodal_displacement).max(), 1e-30)
+            np.testing.assert_allclose(
+                solution.nodal_displacement,
+                reference.nodal_displacement,
+                atol=1e-8 * scale,
+            )
+
+    def test_batched_stats_describe_direct_solve(self, rom_tsv_tiny, materials, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=2)
+        stage = GlobalStage({BlockKind.TSV: rom_tsv_tiny}, materials)
+        solutions = stage.solve_many(layout, [DELTA_T, DELTA_T / 2])
+        for solution in solutions:
+            assert solution.solver_stats.method == "direct-batched"
+            assert solution.solver_stats.converged
+        # Linearity in the load: half the delta_t gives half the displacement.
+        np.testing.assert_allclose(
+            solutions[1].nodal_displacement,
+            0.5 * solutions[0].nodal_displacement,
+            atol=1e-12,
+        )
+
+    def test_submodel_field_variants_share_factorization(
+        self, rom_tsv_tiny, materials, tsv15
+    ):
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=1)
+        stage = GlobalStage(
+            {BlockKind.TSV: rom_tsv_tiny}, materials, SolverOptions(method="direct")
+        )
+
+        def zero_field(points):
+            return np.zeros((points.shape[0], 3))
+
+        def shifted_field(points):
+            values = np.zeros((points.shape[0], 3))
+            values[:, 0] = 1e-3
+            return values
+
+        batched = stage.solve_many(
+            layout,
+            [DELTA_T, DELTA_T],
+            boundary_condition="submodel",
+            displacement_fields=[zero_field, shifted_field],
+        )
+        for field, solution in zip((zero_field, shifted_field), batched):
+            reference = stage.solve(
+                layout, DELTA_T, boundary_condition="submodel",
+                displacement_field=field,
+            )
+            scale = max(np.abs(reference.nodal_displacement).max(), 1e-30)
+            np.testing.assert_allclose(
+                solution.nodal_displacement,
+                reference.nodal_displacement,
+                atol=1e-8 * scale,
+            )
+
+    def test_invalid_inputs_rejected(self, rom_tsv_tiny, materials, tsv15):
+        layout = TSVArrayLayout.full(tsv15, rows=1, cols=1)
+        stage = GlobalStage({BlockKind.TSV: rom_tsv_tiny}, materials)
+        with pytest.raises(ValidationError, match="at least one thermal load"):
+            stage.solve_many(layout, [])
+        with pytest.raises(ValidationError, match="displacement_fields"):
+            stage.solve_many(layout, [DELTA_T], boundary_condition="submodel")
+        with pytest.raises(ValidationError, match="displacement fields"):
+            stage.solve_many(
+                layout,
+                [DELTA_T, DELTA_T],
+                boundary_condition="submodel",
+                displacement_fields=[lambda p: np.zeros((p.shape[0], 3))],
+            )
+        with pytest.raises(ValidationError, match="boundary_condition"):
+            stage.solve_many(layout, [DELTA_T], boundary_condition="periodic")
 
 
 class TestGlobalStageSolve:
