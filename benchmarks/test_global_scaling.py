@@ -25,7 +25,6 @@ import pytest
 from repro.geometry.array_layout import BlockKind, TSVArrayLayout
 from repro.geometry.tsv import TSVGeometry
 from repro.geometry.unit_block import UnitBlockGeometry
-from repro.materials.library import MaterialLibrary
 from repro.rom.global_dofs import GlobalDofManager
 from repro.rom.global_stage import GlobalStage
 from repro.rom.interpolation import InterpolationScheme
@@ -100,6 +99,7 @@ class TestGlobalScaling:
         benchmark.extra_info["reduced_dofs"] = manager.num_global_dofs
         benchmark.extra_info["nnz"] = int(matrix.nnz)
 
+    @pytest.mark.smoke
     def test_rom_cache_warm_vs_cold(self, benchmark, materials, rom_cache):
         """A warm ROM cache skips the local stage entirely (file load only)."""
         block = UnitBlockGeometry(tsv=TSVGeometry.paper_default(pitch=10.0))

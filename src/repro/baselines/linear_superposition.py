@@ -37,7 +37,6 @@ from repro.mesh.array_mesher import mesh_tsv_array
 from repro.mesh.resolution import MeshResolution
 from repro.utils.logging import get_logger
 from repro.utils.memory import PeakMemoryTracker
-from repro.utils.timing import StageTimings
 from repro.utils.validation import ValidationError, check_positive_int
 
 _logger = get_logger("baselines.linear_superposition")

@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro._version import __version__
 from repro.experiments.config import ConvergenceConfig, Scenario1Config, Scenario2Config
+from repro.fem.backends import BACKEND_ALIASES, available_backends, backend_names
 from repro.experiments.convergence import convergence_table, run_convergence_study
 from repro.experiments.scenario1 import run_scenario1, scenario1_table
 from repro.experiments.scenario2 import run_scenario2, scenario2_table
@@ -83,13 +84,39 @@ def _build_parser() -> argparse.ArgumentParser:
             "geometry/resolution/materials skip the local stage entirely"
         ),
     )
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "workers for the parallel local stage (default: one per CPU); "
+            "results are identical to --jobs 1"
+        ),
+    )
+    simulate.add_argument(
+        "--solver-backend",
+        default=None,
+        choices=sorted({*backend_names(), *BACKEND_ALIASES}),
+        help=(
+            "sparse-solver backend for both stages; unavailable optional "
+            "backends fall back gracefully (default: paper settings)"
+        ),
+    )
 
     for name, help_text in (
         ("table1", "regenerate Table 1 (standalone arrays)"),
         ("table2", "regenerate Table 2 (sub-modeling)"),
         ("table3", "regenerate Table 3 / Fig. 6 (convergence)"),
     ):
-        subparsers.add_parser(name, help=help_text)
+        table = subparsers.add_parser(name, help=help_text)
+        table.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="workers for the independent experiment cases (default 1)",
+        )
 
     return parser
 
@@ -114,6 +141,11 @@ def _command_info() -> int:
     print("\ninterpolation schemes (nodes per axis -> element DoFs n, Eq. 16):")
     for nodes in ((2, 2, 2), (3, 3, 3), (4, 4, 4), (5, 5, 5), (6, 6, 6)):
         print(f"  {nodes}  ->  n = {InterpolationScheme(nodes).num_element_dofs}")
+    usable = set(available_backends())
+    print("\nsolver backends (--solver-backend):")
+    for name in backend_names():
+        status = "available" if name in usable else "unavailable (falls back)"
+        print(f"  {name:12s}  {status}")
     return 0
 
 
@@ -130,6 +162,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
         mesh_resolution=args.resolution,
         nodes_per_axis=(args.nodes, args.nodes, args.nodes),
         rom_cache=args.rom_cache,
+        jobs=args.jobs,
+        solver_backend=args.solver_backend,
     )
     result = simulator.simulate_array(
         rows=args.rows, cols=args.cols, delta_t=args.delta_t
@@ -150,15 +184,17 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_table(name: str) -> int:
+def _command_table(name: str, jobs: int | None = 1) -> int:
     if name == "table1":
-        records = run_scenario1(Scenario1Config.small())
+        records = run_scenario1(Scenario1Config.small(), jobs=jobs)
         print(scenario1_table(records).to_text())
     elif name == "table2":
-        records = run_scenario2(Scenario2Config.small())
+        records = run_scenario2(Scenario2Config.small(), jobs=jobs)
         print(scenario2_table(records).to_text())
     else:
-        records, reference_seconds = run_convergence_study(ConvergenceConfig.small())
+        records, reference_seconds = run_convergence_study(
+            ConvergenceConfig.small(), jobs=jobs
+        )
         print(convergence_table(records, reference_seconds).to_text())
     return 0
 
@@ -174,7 +210,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "simulate":
         return _command_simulate(args)
     if args.command in ("table1", "table2", "table3"):
-        return _command_table(args.command)
+        return _command_table(args.command, jobs=args.jobs)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -17,7 +17,7 @@ See DESIGN.md §2 for the substitution rationale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.validation import check_positive_int
 

@@ -21,6 +21,7 @@ from repro.geometry.tsv import TSVGeometry
 from repro.materials.library import MaterialLibrary
 from repro.rom.workflow import MoreStressSimulator
 from repro.utils.logging import get_logger
+from repro.utils.parallel import parallel_map, resolve_jobs
 
 _logger = get_logger("experiments.convergence")
 
@@ -44,12 +45,15 @@ def run_convergence_study(
     config: ConvergenceConfig | None = None,
     materials: MaterialLibrary | None = None,
     rom_cache=None,
+    jobs: int | None = 1,
 ) -> tuple[list[ConvergenceRecord], float]:
     """Run the convergence study.
 
     ``rom_cache`` (a :class:`~repro.rom.cache.ROMCache` or directory) lets
     repeat runs reuse the per-node-count ROMs (each node count is a distinct
     cache entry because the interpolation scheme is part of the key).
+    ``jobs`` runs the independent node-count cases concurrently (``None`` =
+    one worker per CPU); records keep the serial ordering.
 
     Returns
     -------
@@ -68,8 +72,12 @@ def run_convergence_study(
     reference_vm = reference_solution.von_mises_midplane(config.points_per_block)
     reference_seconds = reference_solution.total_time()
 
-    records: list[ConvergenceRecord] = []
-    for nodes in config.node_counts:
+    # Split the worker budget between the outer node-count sweep and each
+    # case's local stage, so --jobs N never oversubscribes to N*N threads.
+    outer_jobs = min(resolve_jobs(jobs), max(1, len(config.node_counts)))
+    inner_jobs = max(1, resolve_jobs(jobs) // outer_jobs)
+
+    def run_case(nodes: tuple[int, int, int]) -> ConvergenceRecord:
         _logger.info("convergence: nodes=%s", nodes)
         simulator = MoreStressSimulator(
             tsv,
@@ -77,18 +85,19 @@ def run_convergence_study(
             mesh_resolution=config.mesh_resolution,
             nodes_per_axis=nodes,
             rom_cache=rom_cache,
+            jobs=inner_jobs,
         )
         result = simulator.simulate_array(rows=config.array_size, delta_t=config.delta_t)
         rom_vm = result.von_mises_midplane(config.points_per_block)
-        records.append(
-            ConvergenceRecord(
-                nodes_per_axis=tuple(nodes),
-                num_element_dofs=simulator.scheme.num_element_dofs,
-                local_stage_seconds=simulator.local_stage_seconds,
-                global_stage_seconds=result.global_stage_seconds,
-                error=normalized_mae(rom_vm, reference_vm),
-            )
+        return ConvergenceRecord(
+            nodes_per_axis=tuple(nodes),
+            num_element_dofs=simulator.scheme.num_element_dofs,
+            local_stage_seconds=simulator.local_stage_seconds,
+            global_stage_seconds=result.global_stage_seconds,
+            error=normalized_mae(rom_vm, reference_vm),
         )
+
+    records = parallel_map(run_case, config.node_counts, jobs=outer_jobs)
     return records, reference_seconds
 
 

@@ -26,6 +26,7 @@ from repro.geometry.tsv import TSVGeometry
 from repro.materials.library import MaterialLibrary
 from repro.rom.workflow import MoreStressSimulator
 from repro.utils.logging import get_logger
+from repro.utils.parallel import parallel_map, resolve_jobs
 
 _logger = get_logger("experiments.scenario1")
 
@@ -71,18 +72,25 @@ def run_scenario1(
     config: Scenario1Config | None = None,
     materials: MaterialLibrary | None = None,
     rom_cache=None,
+    jobs: int | None = 1,
 ) -> list[Scenario1Record]:
     """Run the standalone-array study and return one record per case.
 
     ``rom_cache`` (a :class:`~repro.rom.cache.ROMCache` or directory) lets
     repeat runs of the study reuse the per-pitch ROMs instead of rebuilding
     them; the one-shot column then reports the (tiny) cache-load time.
+    ``jobs`` runs the independent per-pitch case sweeps concurrently
+    (``None`` = one worker per CPU); records keep the serial ordering.
     """
     config = config or Scenario1Config.small()
     materials = materials or MaterialLibrary.default()
-    records: list[Scenario1Record] = []
+    # Split the worker budget between the outer per-pitch sweep and each
+    # pitch's local stage, so --jobs N never oversubscribes to N*N threads.
+    outer_jobs = min(resolve_jobs(jobs), max(1, len(config.pitches)))
+    inner_jobs = max(1, resolve_jobs(jobs) // outer_jobs)
 
-    for pitch in config.pitches:
+    def run_pitch(pitch: float) -> list[Scenario1Record]:
+        records: list[Scenario1Record] = []
         tsv = TSVGeometry.paper_default(pitch=pitch)
         simulator = MoreStressSimulator(
             tsv,
@@ -90,6 +98,7 @@ def run_scenario1(
             mesh_resolution=config.mesh_resolution,
             nodes_per_axis=config.nodes_per_axis,
             rom_cache=rom_cache,
+            jobs=inner_jobs,
         )
         superposition = LinearSuperpositionMethod(
             materials,
@@ -135,7 +144,10 @@ def run_scenario1(
                     rom_global_dofs=result.num_global_dofs,
                 )
             )
-    return records
+        return records
+
+    per_pitch = parallel_map(run_pitch, config.pitches, jobs=outer_jobs)
+    return [record for pitch_records in per_pitch for record in pitch_records]
 
 
 def scenario1_table(records: list[Scenario1Record]) -> ResultTable:

@@ -34,6 +34,7 @@ from repro.materials.library import MaterialLibrary
 from repro.rom.submodeling import SubModelingDriver
 from repro.rom.workflow import MoreStressSimulator
 from repro.utils.logging import get_logger
+from repro.utils.parallel import parallel_map, resolve_jobs
 
 _logger = get_logger("experiments.scenario2")
 
@@ -79,18 +80,25 @@ def run_scenario2(
     config: Scenario2Config | None = None,
     materials: MaterialLibrary | None = None,
     rom_cache=None,
+    jobs: int | None = 1,
 ) -> list[Scenario2Record]:
     """Run the embedded-array (sub-modeling) study and return per-case records.
 
     ``rom_cache`` (a :class:`~repro.rom.cache.ROMCache` or directory) lets
-    repeat runs reuse the per-pitch TSV/dummy ROM pairs.
+    repeat runs reuse the per-pitch TSV/dummy ROM pairs.  ``jobs`` runs the
+    independent per-pitch sweeps concurrently (``None`` = one worker per
+    CPU); records keep the serial ordering.
     """
     config = config or Scenario2Config.small()
     materials = materials or MaterialLibrary.default()
     package = ChipletPackage.scaled_default(config.package_scale)
-    records: list[Scenario2Record] = []
+    # Split the worker budget between the outer per-pitch sweep and each
+    # pitch's local stage, so --jobs N never oversubscribes to N*N threads.
+    outer_jobs = min(resolve_jobs(jobs), max(1, len(config.pitches)))
+    inner_jobs = max(1, resolve_jobs(jobs) // outer_jobs)
 
-    for pitch in config.pitches:
+    def run_pitch(pitch: float) -> list[Scenario2Record]:
+        records: list[Scenario2Record] = []
         tsv = TSVGeometry.paper_default(pitch=pitch)
 
         coarse_model = CoarseChipletModel(
@@ -109,6 +117,7 @@ def run_scenario2(
             mesh_resolution=config.mesh_resolution,
             nodes_per_axis=config.nodes_per_axis,
             rom_cache=rom_cache,
+            jobs=inner_jobs,
         )
         driver = SubModelingDriver(
             simulator=simulator,
@@ -173,7 +182,10 @@ def run_scenario2(
                     rom_error=normalized_mae(rom_vm, reference_vm),
                 )
             )
-    return records
+        return records
+
+    per_pitch = parallel_map(run_pitch, config.pitches, jobs=outer_jobs)
+    return [record for pitch_records in per_pitch for record in pitch_records]
 
 
 def scenario2_table(records: list[Scenario2Record]) -> ResultTable:

@@ -9,19 +9,33 @@ The package needs three kinds of solves:
 * the global ROM system is modest in size but non-symmetric after lifting, so
   it is solved with GMRES (the paper's choice) or a direct factorisation.
 
-The PETSc backend of the paper is replaced by SciPy equivalents; the solver
+The actual numerics live in the pluggable backends of
+:mod:`repro.fem.backends` (SuperLU, Jacobi-preconditioned CG/GMRES and the
+optional CHOLMOD/pyamg backends); :class:`LinearSolver` is the front-end that
+resolves the configured backend — with graceful fallback when an optional
+backend is missing — and records :class:`SolveStats` for every solve.  The
+PETSc backend of the paper is replaced by these SciPy equivalents; the solver
 options dataclass keeps the choice explicit and testable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
+from repro.fem.backends import (
+    FactorizedOperator,
+    SolveStats,
+    _jacobi_preconditioner,  # noqa: F401  (re-exported for tests/back-compat)
+    canonical_backend_name,
+    resolve_backend,
+)
 from repro.utils.validation import ValidationError
+
+#: Legacy ``method`` values and the backend each one routes to.
+_METHOD_BACKENDS = {"direct": "direct-splu", "cg": "cg", "gmres": "gmres"}
 
 
 @dataclass(frozen=True)
@@ -33,7 +47,15 @@ class SolverOptions:
     method:
         ``"direct"`` (SuperLU), ``"cg"`` (Jacobi-preconditioned conjugate
         gradients, SPD systems only) or ``"gmres"`` (restarted GMRES with a
-        Jacobi preconditioner).
+        Jacobi preconditioner).  Kept for backward compatibility; ``backend``
+        takes precedence when set.
+    backend:
+        Name of a :mod:`repro.fem.backends` backend (``"direct-splu"``,
+        ``"cg"``, ``"gmres"``, ``"cholmod"``, ``"pyamg"`` or an alias such as
+        ``"direct"``).  ``None`` derives the backend from ``method``.
+        Requesting an unavailable optional backend falls back along its
+        fallback chain at solve time; the substitution is recorded in
+        :attr:`SolveStats.method` as ``"requested->actual"``.
     rtol:
         Relative residual tolerance for the iterative methods.
     max_iterations:
@@ -43,91 +65,34 @@ class SolverOptions:
     """
 
     method: str = "direct"
+    backend: str | None = None
     rtol: float = 1e-8
     max_iterations: int = 5000
     gmres_restart: int = 100
 
     def __post_init__(self) -> None:
-        if self.method not in ("direct", "cg", "gmres"):
+        if self.method not in _METHOD_BACKENDS:
             raise ValidationError(
                 f"method must be 'direct', 'cg' or 'gmres', got {self.method!r}"
+            )
+        if self.backend is not None:
+            # Normalize aliases eagerly so equal configurations compare equal.
+            object.__setattr__(
+                self, "backend", canonical_backend_name(self.backend)
             )
         if self.rtol <= 0.0 or self.rtol >= 1.0:
             raise ValidationError(f"rtol must lie in (0, 1), got {self.rtol}")
         if self.max_iterations < 1:
             raise ValidationError("max_iterations must be >= 1")
 
-
-@dataclass
-class SolveStats:
-    """Diagnostics of a completed solve."""
-
-    method: str
-    iterations: int
-    residual_norm: float
-    converged: bool
-    unknowns: int
-
-
-class FactorizedOperator:
-    """A sparse LU factorisation reused for many right-hand sides.
-
-    The local stage of MORE-Stress solves the same lifted stiffness matrix
-    against one right-hand side per Lagrange interpolation DoF; factorising
-    once and back-substituting many times is what makes the one-shot stage
-    cheap (paper §4.2).
-    """
-
-    def __init__(self, matrix: sp.spmatrix):
-        matrix = matrix.tocsc()
-        if matrix.shape[0] != matrix.shape[1]:
-            raise ValidationError("matrix must be square to factorise")
-        self._shape = matrix.shape
-        self._lu = spla.splu(matrix)
-
     @property
-    def shape(self) -> tuple[int, int]:
-        """Shape of the factorised matrix."""
-        return self._shape
-
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve against one vector or a block of right-hand sides.
-
-        ``rhs`` may have shape ``(n,)`` or ``(n, k)``; the solution has the
-        same shape.
-        """
-        rhs = np.asarray(rhs, dtype=float)
-        if rhs.shape[0] != self._shape[0]:
-            raise ValidationError(
-                f"rhs has leading dimension {rhs.shape[0]}, expected {self._shape[0]}"
-            )
-        return self._lu.solve(rhs)
-
-
-def _jacobi_preconditioner(matrix: sp.spmatrix) -> spla.LinearOperator:
-    diagonal = matrix.diagonal().astype(float).copy()
-    abs_diagonal = np.abs(diagonal)
-    scale = float(abs_diagonal.mean()) if abs_diagonal.size else 0.0
-    if scale <= 0.0:
-        # Entirely zero diagonal: fall back to the identity.
-        inverse = np.ones_like(diagonal)
-    else:
-        # Clamp entries that are zero or negligible *relative to the mean
-        # diagonal* (e.g. a nearly singular lifted row); inverting them
-        # verbatim would blow the preconditioner up by many orders of
-        # magnitude.  Clamped rows get the neutral mean-diagonal scaling.
-        near_zero = abs_diagonal < 1e-12 * scale
-        diagonal[near_zero] = scale
-        inverse = 1.0 / diagonal
-
-    def apply(vector: np.ndarray) -> np.ndarray:
-        return inverse * vector
-
-    return spla.LinearOperator(matrix.shape, matvec=apply)
+    def effective_backend(self) -> str:
+        """The backend name this configuration requests."""
+        return self.backend or _METHOD_BACKENDS[self.method]
 
 
 class LinearSolver:
-    """Front-end dispatching to the configured sparse solver."""
+    """Front-end dispatching to the configured sparse-solver backend."""
 
     def __init__(self, options: SolverOptions | None = None):
         self.options = options or SolverOptions()
@@ -140,75 +105,12 @@ class LinearSolver:
             raise ValidationError(
                 f"matrix of shape {matrix.shape} incompatible with rhs of size {rhs.size}"
             )
-        method = self.options.method
-        if method == "direct":
-            solution = FactorizedOperator(matrix).solve(rhs)
-            residual = float(np.linalg.norm(matrix @ solution - rhs))
-            self.last_stats = SolveStats(
-                method="direct",
-                iterations=1,
-                residual_norm=residual,
-                converged=True,
-                unknowns=rhs.size,
-            )
-            return solution
-        if method == "cg":
-            return self._solve_iterative(matrix, rhs, "cg")
-        return self._solve_iterative(matrix, rhs, "gmres")
-
-    def _solve_iterative(self, matrix, rhs, name: str) -> np.ndarray:
-        matrix = matrix.tocsr()
-        preconditioner = _jacobi_preconditioner(matrix)
-        iterations = 0
-
-        def count_iterations(_):
-            nonlocal iterations
-            iterations += 1
-
-        if name == "cg":
-            solution, info = spla.cg(
-                matrix,
-                rhs,
-                rtol=self.options.rtol,
-                maxiter=self.options.max_iterations,
-                M=preconditioner,
-                callback=count_iterations,
-            )
-        else:
-            solution, info = spla.gmres(
-                matrix,
-                rhs,
-                rtol=self.options.rtol,
-                maxiter=self.options.max_iterations,
-                M=preconditioner,
-                restart=self.options.gmres_restart,
-                callback=count_iterations,
-                callback_type="pr_norm",
-            )
-        residual = float(np.linalg.norm(matrix @ solution - rhs))
-        rhs_norm = float(np.linalg.norm(rhs))
-        converged = info == 0 or (rhs_norm > 0 and residual <= 10 * self.options.rtol * rhs_norm)
-        self.last_stats = SolveStats(
-            method=name,
-            iterations=iterations,
-            residual_norm=residual,
-            converged=bool(converged),
-            unknowns=rhs.size,
-        )
-        if not converged:
-            # Fall back to a direct solve rather than silently returning a
-            # wrong answer; benchmarks record the event through last_stats.
-            solution = FactorizedOperator(matrix).solve(rhs)
-            residual = float(np.linalg.norm(matrix @ solution - rhs))
-            # last_stats must describe the solution actually returned: the
-            # fallback is direct and accurate, not the failed iterative run.
-            self.last_stats = SolveStats(
-                method=f"{name}+direct-fallback",
-                iterations=iterations,
-                residual_norm=residual,
-                converged=True,
-                unknowns=rhs.size,
-            )
+        backend, requested = resolve_backend(self.options.effective_backend)
+        solution, stats = backend.solve(matrix, rhs, self.options)
+        if backend.name != requested:
+            # The requested backend was unavailable; record the substitution.
+            stats.method = f"{requested}->{stats.method}"
+        self.last_stats = stats
         return solution
 
 

@@ -9,7 +9,7 @@ array sits in global package coordinates (needed for sub-modeling).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

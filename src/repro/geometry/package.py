@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.array_layout import TSVArrayLayout
-from repro.geometry.tsv import TSVGeometry
 from repro.materials.library import ROLE_SILICON, ROLE_SUBSTRATE, ROLE_UNDERFILL
 from repro.utils.validation import ValidationError, check_positive
 

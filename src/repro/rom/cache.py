@@ -28,7 +28,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -106,6 +108,54 @@ class ROMCache:
         """The single key-to-path mapping shared by all lookups and writes."""
         return Path(self.directory) / f"rom_{key}.npz"
 
+    @contextmanager
+    def _write_lock(self, key: str, timeout: float = 30.0, stale_after: float = 300.0):
+        """Best-effort per-key lockfile serialising concurrent writers.
+
+        Correctness never depends on the lock — :meth:`put` writes to a
+        unique temporary file and atomically renames it into place — but the
+        lock keeps concurrent writers of the *same* key from duplicating the
+        (expensive) bundle serialisation and from churning the directory.
+        A lock older than ``stale_after`` seconds (e.g. left by a killed
+        process) is broken; if the lock cannot be acquired within
+        ``timeout`` seconds the write proceeds unlocked.
+        """
+        lock_path = Path(self.directory) / f".lock-{key}"
+        deadline = time.monotonic() + timeout
+        fd = None
+        while True:
+            try:
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    continue  # holder just released it; retry immediately
+                if age > stale_after:
+                    _logger.warning(
+                        "ROM cache: breaking stale lock %s (%.0fs old)",
+                        lock_path.name,
+                        age,
+                    )
+                    lock_path.unlink(missing_ok=True)
+                    continue
+                if time.monotonic() >= deadline:
+                    _logger.warning(
+                        "ROM cache: could not acquire %s within %.0fs; "
+                        "writing unlocked (atomic rename keeps this safe)",
+                        lock_path.name,
+                        timeout,
+                    )
+                    break
+                time.sleep(0.05)
+        try:
+            yield
+        finally:
+            if fd is not None:
+                os.close(fd)
+                lock_path.unlink(missing_ok=True)
+
     def path_for(
         self,
         block: UnitBlockGeometry,
@@ -151,7 +201,9 @@ class ROMCache:
 
         The bundle is written to a temporary file and atomically renamed into
         place, so concurrent readers sharing the cache directory never see a
-        partially written bundle and concurrent writers cannot interleave.
+        partially written bundle and concurrent writers cannot interleave;
+        a per-key lockfile additionally serialises same-key writers (e.g.
+        parallel local stages racing to store the same configuration).
         """
         if rom.material_fingerprint is None:
             raise ValidationError(
@@ -162,12 +214,14 @@ class ROMCache:
             rom.block, rom.resolution, rom.scheme, rom.material_fingerprint
         )
         path = self._bundle_path(key)
-        temporary = path.parent / f".tmp-{key}-{uuid.uuid4().hex}.npz"
-        try:
-            rom.save(temporary)
-            os.replace(temporary, path)
-        finally:
-            temporary.unlink(missing_ok=True)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._write_lock(key):
+            temporary = path.parent / f".tmp-{key}-{uuid.uuid4().hex}.npz"
+            try:
+                rom.save(temporary)
+                os.replace(temporary, path)
+            finally:
+                temporary.unlink(missing_ok=True)
         _logger.info("ROM cache store: %s", path.name)
         return path
 

@@ -38,6 +38,7 @@ from typing import Callable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.fem.backends import resolve_backend
 from repro.fem.boundary import DirichletBC, lift_system
 from repro.fem.solver import FactorizedOperator, LinearSolver, SolveStats, SolverOptions
 from repro.geometry.array_layout import BlockKind, TSVArrayLayout
@@ -423,7 +424,25 @@ class GlobalStage:
             )
 
         with timings.measure("factorize"):
-            operator = FactorizedOperator(lifted_matrix)
+            # The batched mode always factorises; the configured backend
+            # supplies the factorisation (iterative backends delegate to
+            # SuperLU).  A backend that cannot factorise the non-symmetric
+            # lifted matrix (e.g. CHOLMOD) degrades to SuperLU.
+            backend, _ = resolve_backend(self.solver_options.effective_backend)
+            try:
+                operator = backend.factorize(lifted_matrix)
+            except Exception:
+                _logger.warning(
+                    "backend %r could not factorise the lifted global matrix; "
+                    "using direct-splu",
+                    backend.name,
+                )
+                operator = FactorizedOperator(lifted_matrix)
+            batched_method = (
+                "direct-batched"
+                if isinstance(operator, FactorizedOperator)
+                else f"{backend.name}-batched"
+            )
 
         with timings.measure("solve"):
             rhs_block = np.empty((manager.num_global_dofs, len(delta_ts)))
@@ -434,6 +453,24 @@ class GlobalStage:
             residuals = np.linalg.norm(
                 lifted_matrix @ solution_block - rhs_block, axis=0
             )
+            if not isinstance(operator, FactorizedOperator):
+                # An alternative factorisation (e.g. CHOLMOD) can silently
+                # mis-factorise the non-symmetric lifted matrix; verify the
+                # residuals and redo the batch with SuperLU if they are off.
+                rhs_norms = np.linalg.norm(rhs_block, axis=0)
+                tolerance = 10 * self.solver_options.rtol
+                if np.any(residuals > tolerance * np.maximum(rhs_norms, 1e-30)):
+                    _logger.warning(
+                        "batched global solve via %r failed the residual "
+                        "check; re-solving with direct-splu",
+                        batched_method,
+                    )
+                    operator = FactorizedOperator(lifted_matrix)
+                    batched_method = "direct-batched"
+                    solution_block = operator.solve(rhs_block)
+                    residuals = np.linalg.norm(
+                        lifted_matrix @ solution_block - rhs_block, axis=0
+                    )
 
         _logger.info(
             "global stage (batched): %dx%d blocks, %d reduced dofs, "
@@ -455,7 +492,7 @@ class GlobalStage:
                 delta_t=delta_ts[case],
                 timings=timings,
                 solver_stats=SolveStats(
-                    method="direct-batched",
+                    method=batched_method,
                     iterations=1,
                     residual_norm=float(residuals[case]),
                     converged=True,

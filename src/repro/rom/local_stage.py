@@ -29,9 +29,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.fem.assembly import assemble_stiffness, assemble_thermal_load
+from repro.fem.backends import canonical_backend_name, resolve_backend
 from repro.fem.boundary import DirichletBC, split_system
 from repro.fem.elasticity import material_arrays_for_mesh
-from repro.fem.solver import FactorizedOperator
 from repro.geometry.unit_block import UnitBlockGeometry
 from repro.materials.library import MaterialLibrary
 from repro.mesh.block_mesher import mesh_unit_block
@@ -40,6 +40,7 @@ from repro.rom.cache import ROMCache
 from repro.rom.interpolation import InterpolationScheme
 from repro.rom.rom_model import ReducedOrderModel
 from repro.utils.logging import get_logger
+from repro.utils.parallel import parallel_map, resolve_jobs
 from repro.utils.timing import StageTimings
 
 _logger = get_logger("rom.local_stage")
@@ -61,12 +62,23 @@ class LocalStage:
     rhs_batch_size:
         Number of local problems back-substituted per batch (memory knob;
         the factorisation itself is always reused, matching the paper's
-        "decompose once, reuse for all local problems").
+        "decompose once, reuse for all local problems").  The batching is
+        identical for serial and parallel runs, so the snapshot solves are
+        bit-equal regardless of ``jobs``.
     cache:
         Optional :class:`~repro.rom.cache.ROMCache` (or a cache directory).
         When set, :meth:`build` first looks the configuration up in the cache
         and, on a hit, skips the local stage entirely; on a miss the freshly
         built ROM is stored for future runs.
+    jobs:
+        Worker count for the embarrassingly parallel snapshot solves and for
+        independent block builds (:meth:`build_many`).  ``None`` (the
+        default) uses one worker per CPU; ``1`` runs serially.  The parallel
+        schedule never changes results, only wall-clock time.
+    solver_backend:
+        Name of the :mod:`repro.fem.backends` backend whose factorisation the
+        snapshot solves reuse (``None`` = ``"direct-splu"``; ``"cholmod"``
+        is picked up automatically when requested and installed).
     """
 
     materials: MaterialLibrary
@@ -74,12 +86,19 @@ class LocalStage:
     scheme: InterpolationScheme = InterpolationScheme((4, 4, 4))
     rhs_batch_size: int = 64
     cache: "ROMCache | str | Path | None" = None
+    jobs: int | None = None
+    solver_backend: str | None = None
 
     def __post_init__(self) -> None:
         self.resolution = MeshResolution.from_spec(self.resolution)
         if isinstance(self.scheme, tuple):
             self.scheme = InterpolationScheme(self.scheme)
         self.cache = ROMCache.from_spec(self.cache)
+        resolve_jobs(self.jobs)  # validate eagerly
+        if self.solver_backend is not None:
+            # Normalize (and reject typos) now, not after minutes of meshing
+            # — and not never, as would happen on a warm cache hit.
+            self.solver_backend = canonical_backend_name(self.solver_backend)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -149,15 +168,30 @@ class LocalStage:
             material_fingerprint=self.materials.fingerprint(),
         )
 
+    def build_many(
+        self, blocks: "list[UnitBlockGeometry]"
+    ) -> list[ReducedOrderModel]:
+        """Build ROMs for several independent unit blocks, one per input.
+
+        The blocks are independent local stages, so with ``jobs > 1`` they
+        run concurrently on the shared worker pool (each build additionally
+        fans its own snapshot solves out).  Results are returned in input
+        order and are bit-identical to serial ``build`` calls; with a cache
+        configured, concurrent writers are safe (atomic rename + lockfile).
+        """
+        return parallel_map(self.build, list(blocks), jobs=self.jobs)
+
     def build_pair(
         self, block: UnitBlockGeometry
     ) -> tuple[ReducedOrderModel, ReducedOrderModel]:
         """Build the ROMs of a TSV block and of its dummy counterpart.
 
         Sub-modeling needs both (paper §4.4); building them together reuses
-        the configuration and mirrors the paper's extra dummy local stage.
+        the configuration, mirrors the paper's extra dummy local stage and
+        runs the two independent builds concurrently when ``jobs > 1``.
         """
-        return self.build(block), self.build(block.as_dummy())
+        tsv_rom, dummy_rom = self.build_many([block, block.as_dummy()])
+        return tsv_rom, dummy_rom
 
     # ------------------------------------------------------------------ #
     # internals
@@ -180,22 +214,34 @@ class LocalStage:
     ) -> np.ndarray:
         """Solve all local Dirichlet problems with one factorisation.
 
+        The factorisation is built once; the per-boundary-mode snapshot
+        solves are independent back-substitutions against it, so with
+        ``jobs > 1`` the batches fan out across the worker pool.  Batch
+        boundaries and per-batch arithmetic are identical either way, so the
+        parallel basis is bit-equal to the serial one.
+
         Returns the basis matrix of shape ``(num_fine_dofs, n + 1)``.
         """
         n = self.scheme.num_element_dofs
         num_dofs = a_local.shape[0]
         basis = np.zeros((num_dofs, n + 1), dtype=float)
 
-        operator = FactorizedOperator(split.a_ff)
+        backend, _ = resolve_backend(self.solver_backend or "direct-splu")
+        operator = backend.factorize(split.a_ff)
 
         # Displacement basis functions f_i: boundary displacement equal to one
         # Lagrange interpolation function, delta_t = 0 (paper Eq. 14).
         batch = max(1, int(self.rhs_batch_size))
-        for start in range(0, n, batch):
+
+        def solve_batch(start: int):
             stop = min(start + batch, n)
             boundary_block = interpolation_matrix[:, start:stop]
             rhs = -split.a_fb @ boundary_block
-            free_block = operator.solve(rhs)
+            return start, stop, boundary_block, operator.solve(rhs)
+
+        for start, stop, boundary_block, free_block in parallel_map(
+            solve_batch, range(0, n, batch), jobs=self.jobs
+        ):
             basis[split.free_dofs, start:stop] = free_block
             basis[split.constrained_dofs, start:stop] = boundary_block
 

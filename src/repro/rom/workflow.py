@@ -10,6 +10,7 @@ the paper advertises.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -98,6 +99,15 @@ class MoreStressSimulator:
         When set, the one-shot local stage is skipped entirely whenever a ROM
         of this configuration was already built — by this process or any
         earlier one sharing the cache directory.
+    jobs:
+        Worker count for the parallel parts of the local stage (snapshot
+        solves, independent block builds).  ``None`` uses one worker per
+        CPU; results are bit-identical to ``jobs=1``.
+    solver_backend:
+        Optional :mod:`repro.fem.backends` backend name applied to both
+        stages: it overrides ``solver_options.backend`` for the global solve
+        and supplies the local stage's factorisation.  Unavailable optional
+        backends fall back gracefully.
 
     Example
     -------
@@ -115,6 +125,8 @@ class MoreStressSimulator:
         default_factory=lambda: SolverOptions(method="gmres", rtol=1e-9)
     )
     rom_cache: "ROMCache | str | Path | None" = None
+    jobs: int | None = None
+    solver_backend: str | None = None
     _roms: dict[BlockKind, ReducedOrderModel] = field(default_factory=dict, repr=False)
     _local_stage_seconds: float = field(default=0.0, repr=False)
 
@@ -122,6 +134,10 @@ class MoreStressSimulator:
         self.mesh_resolution = MeshResolution.from_spec(self.mesh_resolution)
         self.scheme = InterpolationScheme(tuple(self.nodes_per_axis))
         self.rom_cache = ROMCache.from_spec(self.rom_cache)
+        if self.solver_backend is not None:
+            self.solver_options = dataclasses.replace(
+                self.solver_options, backend=self.solver_backend
+            )
 
     # ------------------------------------------------------------------ #
     # local stage management
@@ -138,17 +154,21 @@ class MoreStressSimulator:
             resolution=self.mesh_resolution,
             scheme=self.scheme,
             cache=self.rom_cache,
+            jobs=self.jobs,
+            solver_backend=self.solver_backend,
         )
         block = UnitBlockGeometry(tsv=self.tsv, has_tsv=True)
         wanted = [(BlockKind.TSV, block)]
         if include_dummy:
             wanted.append((BlockKind.DUMMY, block.as_dummy()))
-        for kind, kind_block in wanted:
-            if kind in self._roms:
-                continue
+        missing = [(kind, b) for kind, b in wanted if kind not in self._roms]
+        if missing:
+            # Independent blocks build concurrently on the shared pool.
             start = time.perf_counter()
-            self._roms[kind] = stage.build(kind_block)
+            built = stage.build_many([b for _, b in missing])
             self._local_stage_seconds += time.perf_counter() - start
+            for (kind, _), rom in zip(missing, built):
+                self._roms[kind] = rom
         return dict(self._roms)
 
     @property

@@ -5,7 +5,6 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.geometry.tsv import TSVGeometry
 from repro.geometry.unit_block import UnitBlockGeometry
 from repro.materials.library import MaterialLibrary
 from repro.materials.material import IsotropicMaterial
@@ -217,3 +216,81 @@ class TestMismatchedLibraryRejection:
         stage = GlobalStage({BlockKind.TSV: fast_rom}, altered_materials)
         with pytest.raises(ValidationError, match="different material library"):
             stage.assemble(layout, -250.0)
+
+
+class TestConcurrentCacheWrites:
+    """Concurrent writers must never corrupt entries (atomic rename + lock)."""
+
+    def test_many_threads_storing_same_rom(self, fast_rom, materials, tmp_path):
+        import threading
+
+        cache = ROMCache(tmp_path / "cache")
+        errors: list[Exception] = []
+
+        def writer():
+            try:
+                for _ in range(5):
+                    cache.put(fast_rom)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        assert len(cache) == 1
+        loaded = cache.get(
+            fast_rom.block, fast_rom.resolution, fast_rom.scheme, materials
+        )
+        assert loaded is not None
+        np.testing.assert_array_equal(loaded.basis, fast_rom.basis)
+        # No lockfiles or temporaries left behind.
+        leftovers = [p.name for p in (tmp_path / "cache").iterdir() if p.name.startswith(".")]
+        assert leftovers == []
+
+    def test_concurrent_writers_of_distinct_keys(self, materials, tsv15, tsv10, tiny_resolution, tmp_path):
+        import threading
+
+        cache = ROMCache(tmp_path / "cache")
+        stage = LocalStage(
+            materials=materials, resolution=tiny_resolution, scheme=SCHEME_222
+        )
+        roms = [
+            stage.build(UnitBlockGeometry(tsv=tsv15, has_tsv=True)),
+            stage.build(UnitBlockGeometry(tsv=tsv10, has_tsv=True)),
+        ]
+        threads = [
+            threading.Thread(target=cache.put, args=(rom,)) for rom in roms for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(cache) == 2
+        for rom in roms:
+            loaded = cache.get(rom.block, rom.resolution, rom.scheme, materials)
+            assert loaded is not None
+            np.testing.assert_array_equal(loaded.element_stiffness, rom.element_stiffness)
+
+    def test_stale_lock_is_broken(self, fast_rom, tmp_path):
+        cache = ROMCache(tmp_path / "cache")
+        key = rom_cache_key(
+            fast_rom.block,
+            fast_rom.resolution,
+            fast_rom.scheme,
+            fast_rom.material_fingerprint,
+        )
+        (tmp_path / "cache").mkdir(parents=True, exist_ok=True)
+        stale = tmp_path / "cache" / f".lock-{key}"
+        stale.touch()
+        import os
+
+        old = 10_000.0
+        os.utime(stale, (old, old))
+        path = cache.put(fast_rom)  # must not dead-wait on the stale lock
+        assert path.exists()
+        assert not stale.exists()

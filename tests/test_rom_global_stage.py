@@ -403,3 +403,42 @@ class TestBlockFieldSampler:
         sampler = BlockFieldSampler(rom_tsv_tiny, materials, points)
         with pytest.raises(ValidationError):
             sampler.stress_from_fine(np.zeros(7), 0.0)
+
+
+class TestBatchedFactorizationGuard:
+    """solve_many must not trust a mis-factorising alternative backend."""
+
+    def test_bad_factorization_redone_with_direct(
+        self, rom_tsv_tiny, materials, monkeypatch
+    ):
+        import repro.rom.global_stage as global_stage_module
+
+        class BogusOperator:
+            def __init__(self, matrix):
+                self.shape = matrix.shape
+
+            def solve(self, rhs):
+                return np.zeros_like(np.asarray(rhs, dtype=float))
+
+        class BogusBackend:
+            name = "bogus"
+
+            def factorize(self, matrix):
+                return BogusOperator(matrix)
+
+        monkeypatch.setattr(
+            global_stage_module,
+            "resolve_backend",
+            lambda name: (BogusBackend(), "bogus"),
+        )
+        stage = GlobalStage({BlockKind.TSV: rom_tsv_tiny}, materials)
+        layout = TSVArrayLayout.full(rom_tsv_tiny.block.tsv, rows=2)
+        reference = stage.solve(layout, DELTA_T)
+        solutions = stage.solve_many(layout, [DELTA_T])
+        assert solutions[0].solver_stats.method == "direct-batched"
+        assert solutions[0].solver_stats.converged
+        np.testing.assert_allclose(
+            solutions[0].nodal_displacement,
+            reference.nodal_displacement,
+            atol=1e-8,
+        )

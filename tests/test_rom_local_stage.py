@@ -170,3 +170,59 @@ class TestLocalStageConfiguration:
     def test_resolution_preset_coerced(self, materials, scheme_333):
         stage = LocalStage(materials, "tiny", scheme_333)
         assert stage.resolution.n_z >= 1
+
+    def test_invalid_jobs_rejected(self, materials, scheme_333):
+        with pytest.raises(ValidationError):
+            LocalStage(materials, "tiny", scheme_333, jobs=0)
+
+    def test_unknown_solver_backend_rejected_eagerly(
+        self, materials, tiny_resolution, scheme_333
+    ):
+        # Eager: a typo must not survive until (or be masked by) a warm
+        # cache hit.
+        with pytest.raises(ValidationError, match="unknown solver backend"):
+            LocalStage(materials, tiny_resolution, scheme_333, solver_backend="petsc")
+
+    def test_solver_backend_alias_normalized(self, materials, tiny_resolution, scheme_333):
+        stage = LocalStage(
+            materials, tiny_resolution, scheme_333, solver_backend="direct"
+        )
+        assert stage.solver_backend == "direct-splu"
+
+
+class TestParallelLocalStage:
+    """The parallel schedule must never change the numbers (ISSUE 2)."""
+
+    def test_parallel_basis_bit_identical_to_serial(
+        self, materials, tsv_block, tiny_resolution, scheme_333
+    ):
+        serial = LocalStage(
+            materials, tiny_resolution, scheme_333, rhs_batch_size=16, jobs=1
+        ).build(tsv_block)
+        parallel = LocalStage(
+            materials, tiny_resolution, scheme_333, rhs_batch_size=16, jobs=4
+        ).build(tsv_block)
+        assert np.array_equal(serial.basis, parallel.basis)
+        assert np.array_equal(serial.element_stiffness, parallel.element_stiffness)
+        assert np.array_equal(serial.element_load, parallel.element_load)
+        assert np.array_equal(serial.thermal_coupling, parallel.thermal_coupling)
+
+    def test_build_many_matches_individual_builds(
+        self, materials, tsv_block, tiny_resolution, scheme_333
+    ):
+        stage = LocalStage(materials, tiny_resolution, scheme_333, jobs=2)
+        tsv_rom, dummy_rom = stage.build_many([tsv_block, tsv_block.as_dummy()])
+        assert tsv_rom.block.has_tsv and not dummy_rom.block.has_tsv
+        reference = LocalStage(materials, tiny_resolution, scheme_333, jobs=1).build(
+            tsv_block
+        )
+        assert np.array_equal(tsv_rom.basis, reference.basis)
+
+    def test_explicit_direct_backend_matches_default(
+        self, materials, tsv_block, tiny_resolution, scheme_333
+    ):
+        default = LocalStage(materials, tiny_resolution, scheme_333).build(tsv_block)
+        explicit = LocalStage(
+            materials, tiny_resolution, scheme_333, solver_backend="direct-splu"
+        ).build(tsv_block)
+        assert np.array_equal(default.basis, explicit.basis)

@@ -6,7 +6,6 @@ import pytest
 from repro.baselines.coarse_model import CoarseChipletModel
 from repro.geometry.array_layout import BlockKind, TSVArrayLayout
 from repro.geometry.package import ChipletPackage
-from repro.geometry.tsv import TSVGeometry
 from repro.materials.temperature import ThermalLoad
 from repro.rom.submodeling import SubModelingDriver
 from repro.rom.workflow import MoreStressSimulator

@@ -1,0 +1,63 @@
+"""Tests for the shared worker-pool helpers."""
+
+import threading
+
+import pytest
+
+from repro.utils.parallel import parallel_map, resolve_jobs
+from repro.utils.validation import ValidationError
+
+
+class TestResolveJobs:
+    def test_none_resolves_to_at_least_one(self):
+        assert resolve_jobs(None) >= 1
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_jobs(0)
+        with pytest.raises(ValidationError):
+            resolve_jobs(-2)
+
+
+class TestParallelMap:
+    def test_preserves_order_serial(self):
+        assert parallel_map(lambda x: x * x, range(7), jobs=1) == [
+            x * x for x in range(7)
+        ]
+
+    def test_preserves_order_threaded(self):
+        items = list(range(25))
+        assert parallel_map(lambda x: x * x, items, jobs=4) == [x * x for x in items]
+
+    def test_empty_items(self):
+        assert parallel_map(lambda x: x, [], jobs=4) == []
+
+    def test_single_item_runs_in_calling_thread(self):
+        caller = threading.get_ident()
+        assert parallel_map(lambda _: threading.get_ident(), [None], jobs=8) == [caller]
+
+    def test_actually_uses_worker_threads(self):
+        caller = threading.get_ident()
+        barrier = threading.Barrier(2, timeout=10)
+
+        def task(_):
+            barrier.wait()  # forces two workers to be live simultaneously
+            return threading.get_ident()
+
+        idents = parallel_map(task, [0, 1], jobs=2)
+        assert all(ident != caller for ident in idents)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValidationError):
+            parallel_map(lambda x: x, [1, 2], jobs=2, executor="goroutine")
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError(f"task {x} failed")
+
+        with pytest.raises(RuntimeError, match="task"):
+            parallel_map(boom, [1, 2, 3], jobs=2)
