@@ -25,6 +25,10 @@ The public API is organised in subpackages:
     Error metrics and result-table reporting.
 ``repro.experiments``
     Drivers that regenerate the paper's tables and figures.
+``repro.api``
+    The declarative layer: a serializable :class:`SimulationSpec` run
+    description, the planning executor :func:`repro.api.run` and the
+    persistable :class:`RunResult`.
 
 Quickstart
 ----------
@@ -62,6 +66,17 @@ from repro.baselines import (
     CoarseChipletModel,
 )
 from repro.analysis import normalized_mae, ResultTable
+from repro.api import (
+    GeometrySpec,
+    LoadCase,
+    MaterialsSpec,
+    MeshSpec,
+    RunResult,
+    SimulationSpec,
+    SolverSpec,
+    SubModelSpec,
+    run,
+)
 
 __all__ = [
     "__version__",
@@ -85,4 +100,13 @@ __all__ = [
     "CoarseChipletModel",
     "normalized_mae",
     "ResultTable",
+    "SimulationSpec",
+    "GeometrySpec",
+    "MaterialsSpec",
+    "MeshSpec",
+    "SolverSpec",
+    "LoadCase",
+    "SubModelSpec",
+    "RunResult",
+    "run",
 ]

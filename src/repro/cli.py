@@ -8,32 +8,144 @@ The CLI exposes the most common workflows without writing Python:
 ``python -m repro simulate --rows 8 --pitch 15 --delta-t -250``
     One-shot MORE-Stress simulation of a standalone array; prints the peak
     mid-plane von Mises stress and stage timings.
-``python -m repro table1|table2|table3``
-    Regenerate the paper's tables with the scaled-down default configuration
-    (see EXPERIMENTS.md) and print them as text.
+``python -m repro spec --rows 8 --pitch 15 -o run.json``
+    Emit the declarative :class:`~repro.api.SimulationSpec` JSON the same
+    flags describe (edit it, add load cases, check it into a repo...).
+``python -m repro run run.json``
+    Execute a spec file end to end — array runs, multi-load sweeps and
+    sub-model runs all go through the same executor.
+``python -m repro table1|table2|table3 --preset small``
+    Regenerate the paper's tables (see EXPERIMENTS.md) and print them as text.
 
-The CLI is intentionally a thin shell over the public API so that everything
-it does is equally accessible from Python.
+Every command is a thin shell over the public API (``repro.api`` for runs,
+``repro.experiments`` for the tables), so everything the CLI does is equally
+accessible — and scriptable — from Python.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro._version import __version__
+from repro.api import (
+    MaterialOverride,
+    MaterialsSpec,
+    GeometrySpec,
+    LoadCase,
+    MeshSpec,
+    RunResult,
+    SimulationSpec,
+    SolverSpec,
+    SpecError,
+    run as run_simulation_spec,
+)
 from repro.experiments.config import ConvergenceConfig, Scenario1Config, Scenario2Config
 from repro.fem.backends import BACKEND_ALIASES, available_backends, backend_names
 from repro.experiments.convergence import convergence_table, run_convergence_study
 from repro.experiments.scenario1 import run_scenario1, scenario1_table
 from repro.experiments.scenario2 import run_scenario2, scenario2_table
-from repro.geometry.tsv import TSVGeometry
 from repro.materials.library import MaterialLibrary
 from repro.mesh.resolution import MeshResolution
 from repro.rom.interpolation import InterpolationScheme
-from repro.rom.workflow import MoreStressSimulator
 from repro.utils.logging import enable_console_logging
+from repro.utils.serialization import dump_json
+from repro.utils.validation import ValidationError
+
+_TABLE_COMMANDS = ("table1", "table2", "table3")
+_TABLE_CONFIGS = {
+    "table1": Scenario1Config,
+    "table2": Scenario2Config,
+    "table3": ConvergenceConfig,
+}
+
+
+def _parse_material_override(text: str) -> MaterialOverride:
+    """Parse a ``role:E,nu,cte`` override (E in GPa, cte in ppm/degC)."""
+    role, sep, values = text.partition(":")
+    parts = values.split(",") if sep else []
+    if not sep or len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected ROLE:E,NU,CTE (E in GPa, CTE in ppm/degC), got {text!r}"
+        )
+    try:
+        numbers = [float(part) for part in parts]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"material constants must be numbers, got {values!r}"
+        ) from exc
+    try:
+        return MaterialOverride(
+            role=role.strip(),
+            young_modulus_gpa=numbers[0],
+            poisson_ratio=numbers[1],
+            cte_ppm=numbers[2],
+        )
+    except ValidationError as exc:  # surface the message as a usage error
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            f"workers for {what} (default: one per CPU); "
+            "results are identical to --jobs 1"
+        ),
+    )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``simulate`` and ``spec`` (they describe the same run)."""
+    parser.add_argument("--rows", type=int, default=4, help="array rows (default 4)")
+    parser.add_argument("--cols", type=int, default=None, help="array columns (default: rows)")
+    parser.add_argument("--pitch", type=float, default=15.0, help="TSV pitch in um")
+    parser.add_argument("--diameter", type=float, default=5.0, help="TSV diameter in um")
+    parser.add_argument("--height", type=float, default=50.0, help="TSV height in um")
+    parser.add_argument(
+        "--liner", type=float, default=0.5, help="liner thickness in um"
+    )
+    parser.add_argument(
+        "--delta-t", type=float, default=-250.0, help="thermal load in degC (default -250)"
+    )
+    parser.add_argument(
+        "--resolution",
+        default="coarse",
+        choices=MeshResolution.preset_names(),
+        help="unit-block mesh preset",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=4, help="interpolation nodes per axis (default 4)"
+    )
+    parser.add_argument(
+        "--points-per-block", type=int, default=30, help="mid-plane sample grid per block"
+    )
+    parser.add_argument(
+        "--material",
+        action="append",
+        default=[],
+        type=_parse_material_override,
+        metavar="ROLE:E,NU,CTE",
+        help=(
+            "override one material role (repeatable): Young's modulus in GPa, "
+            "Poisson ratio, CTE in ppm/degC — e.g. --material copper:120,0.34,16.5"
+        ),
+    )
+    parser.add_argument(
+        "--solver-backend",
+        default=None,
+        choices=sorted({*backend_names(), *BACKEND_ALIASES}),
+        help=(
+            "sparse-solver backend for both stages; unavailable optional "
+            "backends fall back gracefully (default: paper settings)"
+        ),
+    )
+    _add_jobs_argument(parser, "the parallel local stage")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,29 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = subparsers.add_parser(
         "simulate", help="simulate a standalone TSV array with MORE-Stress"
     )
-    simulate.add_argument("--rows", type=int, default=4, help="array rows (default 4)")
-    simulate.add_argument("--cols", type=int, default=None, help="array columns (default: rows)")
-    simulate.add_argument("--pitch", type=float, default=15.0, help="TSV pitch in um")
-    simulate.add_argument("--diameter", type=float, default=5.0, help="TSV diameter in um")
-    simulate.add_argument("--height", type=float, default=50.0, help="TSV height in um")
-    simulate.add_argument(
-        "--liner", type=float, default=0.5, help="liner thickness in um"
-    )
-    simulate.add_argument(
-        "--delta-t", type=float, default=-250.0, help="thermal load in degC (default -250)"
-    )
-    simulate.add_argument(
-        "--resolution",
-        default="coarse",
-        choices=MeshResolution.preset_names(),
-        help="unit-block mesh preset",
-    )
-    simulate.add_argument(
-        "--nodes", type=int, default=4, help="interpolation nodes per axis (default 4)"
-    )
-    simulate.add_argument(
-        "--points-per-block", type=int, default=30, help="mid-plane sample grid per block"
-    )
+    _add_spec_arguments(simulate)
     simulate.add_argument(
         "--rom-cache",
         metavar="DIR",
@@ -85,23 +175,49 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
-        "--jobs",
-        type=int,
+        "--json",
+        metavar="PATH",
         default=None,
-        metavar="N",
-        help=(
-            "workers for the parallel local stage (default: one per CPU); "
-            "results are identical to --jobs 1"
-        ),
+        dest="json_path",
+        help="also write the RunResult provenance manifest as JSON",
     )
-    simulate.add_argument(
-        "--solver-backend",
+
+    spec = subparsers.add_parser(
+        "spec",
+        help="emit the declarative SimulationSpec JSON these flags describe",
+    )
+    _add_spec_arguments(spec)
+    spec.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
         default=None,
-        choices=sorted({*backend_names(), *BACKEND_ALIASES}),
-        help=(
-            "sparse-solver backend for both stages; unavailable optional "
-            "backends fall back gracefully (default: paper settings)"
-        ),
+        help="write the spec to a file instead of stdout",
+    )
+
+    run = subparsers.add_parser(
+        "run", help="execute a SimulationSpec JSON file (array/sweep/submodel)"
+    )
+    run.add_argument("spec_path", metavar="SPEC.json", help="spec file to execute")
+    run.add_argument(
+        "--rom-cache",
+        metavar="DIR",
+        default=None,
+        help="persistent ROM cache directory shared across runs",
+    )
+    _add_jobs_argument(run, "the parallel local stage")
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        dest="json_path",
+        help="also write the RunResult provenance manifest as JSON",
+    )
+    run.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="persist the full RunResult (manifest + stress fields) to a directory",
     )
 
     for name, help_text in (
@@ -111,12 +227,15 @@ def _build_parser() -> argparse.ArgumentParser:
     ):
         table = subparsers.add_parser(name, help=help_text)
         table.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            metavar="N",
-            help="workers for the independent experiment cases (default 1)",
+            "--preset",
+            default="small",
+            choices=("small", "medium", "paper"),
+            help=(
+                "experiment scale: 'small' (minutes), 'medium' (overnight, "
+                "where defined) or 'paper' (the paper's full configuration)"
+            ),
         )
+        _add_jobs_argument(table, "the independent experiment cases")
 
     return parser
 
@@ -149,52 +268,137 @@ def _command_info() -> int:
     return 0
 
 
+def _spec_from_args(args: argparse.Namespace) -> SimulationSpec:
+    """Build the SimulationSpec the ``simulate``/``spec`` flags describe.
+
+    Raises :class:`SpecError` (caught by the commands, exit code 2) for
+    mistakes spanning several flags, e.g. the same role overridden twice.
+    """
+    roles = [override.role for override in args.material]
+    duplicate = next((role for role in roles if roles.count(role) > 1), None)
+    if duplicate is not None:
+        raise SpecError(f"--material: role {duplicate!r} is overridden twice")
+    return SimulationSpec(
+        name="cli-simulate",
+        geometry=GeometrySpec(
+            diameter=args.diameter,
+            height=args.height,
+            liner_thickness=args.liner,
+            pitch=args.pitch,
+            rows=args.rows,
+            cols=args.cols,
+        ),
+        materials=MaterialsSpec(overrides=tuple(args.material)),
+        mesh=MeshSpec(
+            resolution=args.resolution,
+            nodes_per_axis=(args.nodes, args.nodes, args.nodes),
+            points_per_block=args.points_per_block,
+        ),
+        solver=SolverSpec(backend=args.solver_backend, jobs=args.jobs),
+        load_cases=(LoadCase(name="cli", delta_t=args.delta_t),),
+    )
+
+
+def _print_run_summary(result: RunResult, verbose_cache: bool = True) -> None:
+    for case in result.cases:
+        vm = case.von_mises
+        rows, cols = vm.shape[:2]
+        where = f" at {case.location}" if case.location else ""
+        print(f"case {case.name:14s}: {rows}x{cols} TSVs{where}, delta_t={case.delta_t:g} degC")
+        print(f"  global stage    : {case.global_stage_seconds:.3f} s ({case.solver_method})")
+        print(f"  reduced DoFs    : {case.num_global_dofs}")
+        print(f"  peak von Mises  : {vm.max():.1f} MPa")
+    print(f"local stage       : {result.local_stage_seconds:.2f} s (shared)")
+    print(f"execution groups  : {result.num_case_groups} (one factorisation each)")
+    if verbose_cache and result.rom_cache_stats is not None:
+        stats = result.rom_cache_stats
+        print(f"rom cache         : {stats['hits']} hit(s), {stats['misses']} miss(es)")
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
-    tsv = TSVGeometry(
-        diameter=args.diameter,
-        height=args.height,
-        liner_thickness=args.liner,
-        pitch=args.pitch,
-    )
-    simulator = MoreStressSimulator(
-        tsv,
-        MaterialLibrary.default(),
-        mesh_resolution=args.resolution,
-        nodes_per_axis=(args.nodes, args.nodes, args.nodes),
-        rom_cache=args.rom_cache,
-        jobs=args.jobs,
-        solver_backend=args.solver_backend,
-    )
-    result = simulator.simulate_array(
-        rows=args.rows, cols=args.cols, delta_t=args.delta_t
-    )
-    vm = result.von_mises_midplane(points_per_block=args.points_per_block)
+    try:
+        spec = _spec_from_args(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_simulation_spec(spec, rom_cache=args.rom_cache)
+    case = result.cases[0]
+    vm = case.von_mises
     rows, cols = vm.shape[:2]
-    cache = simulator.rom_cache
     local_note = "one-shot"
-    if cache is not None:
-        local_note = f"rom cache: {cache.hits} hit(s), {cache.misses} miss(es)"
+    if result.rom_cache_stats is not None:
+        stats = result.rom_cache_stats
+        local_note = f"rom cache: {stats['hits']} hit(s), {stats['misses']} miss(es)"
     print(f"array             : {rows}x{cols} TSVs at pitch {args.pitch:g} um")
     print(f"thermal load      : {args.delta_t:g} degC")
-    print(f"local stage       : {result.local_stage_seconds:.2f} s ({local_note})")
-    print(f"global stage      : {result.global_stage_seconds:.3f} s")
-    print(f"reduced DoFs      : {result.num_global_dofs}")
+    print(f"local stage       : {case.local_stage_seconds:.2f} s ({local_note})")
+    print(f"global stage      : {case.global_stage_seconds:.3f} s")
+    print(f"reduced DoFs      : {case.num_global_dofs}")
     print(f"peak von Mises    : {vm.max():.1f} MPa")
     print(f"mean von Mises    : {vm.mean():.1f} MPa")
+    if args.json_path:
+        dump_json(args.json_path, result.manifest())
+        print(f"manifest          : {args.json_path}")
     return 0
 
 
-def _command_table(name: str, jobs: int | None = 1) -> int:
+def _command_spec(args: argparse.Namespace) -> int:
+    try:
+        spec = _spec_from_args(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    document = spec.to_json(indent=2)
+    if args.output:
+        Path(args.output).write_text(document + "\n")
+        print(f"spec written to {args.output}", file=sys.stderr)
+    else:
+        print(document)
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    path = Path(args.spec_path)
+    if not path.exists():
+        print(f"error: spec file {path} does not exist", file=sys.stderr)
+        return 2
+    try:
+        spec = SimulationSpec.from_json(path.read_text())
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_simulation_spec(spec, rom_cache=args.rom_cache, jobs=args.jobs)
+    print(f"spec              : {spec.name} ({result.spec_hash})")
+    _print_run_summary(result)
+    if args.json_path:
+        dump_json(args.json_path, result.manifest())
+        print(f"manifest          : {args.json_path}")
+    if args.save:
+        result.save(args.save)
+        print(f"full result       : {args.save}")
+    return 0
+
+
+def _command_table(name: str, preset: str = "small", jobs: int | None = None) -> int:
+    config_cls = _TABLE_CONFIGS[name]
+    factory = getattr(config_cls, preset, None)
+    if factory is None:
+        print(
+            f"error: {name} ({config_cls.__name__}) has no {preset!r} preset; "
+            "available: small, paper"
+            + (", medium" if hasattr(config_cls, "medium") else ""),
+            file=sys.stderr,
+        )
+        return 2
+    config = factory()
     if name == "table1":
-        records = run_scenario1(Scenario1Config.small(), jobs=jobs)
+        records = run_scenario1(config, jobs=jobs)
         print(scenario1_table(records).to_text())
     elif name == "table2":
-        records = run_scenario2(Scenario2Config.small(), jobs=jobs)
+        records = run_scenario2(config, jobs=jobs)
         print(scenario2_table(records).to_text())
     else:
-        records, reference_seconds = run_convergence_study(
-            ConvergenceConfig.small(), jobs=jobs
-        )
+        records, reference_seconds = run_convergence_study(config, jobs=jobs)
         print(convergence_table(records, reference_seconds).to_text())
     return 0
 
@@ -209,8 +413,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_info()
     if args.command == "simulate":
         return _command_simulate(args)
-    if args.command in ("table1", "table2", "table3"):
-        return _command_table(args.command, jobs=args.jobs)
+    if args.command == "spec":
+        return _command_spec(args)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command in _TABLE_COMMANDS:
+        return _command_table(args.command, preset=args.preset, jobs=args.jobs)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

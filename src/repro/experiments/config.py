@@ -18,8 +18,12 @@ See DESIGN.md §2 for the substitution rationale.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.spec import SimulationSpec
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,29 @@ class Scenario1Config:
             superposition_window_blocks=5,
         )
 
+    def to_spec(self, pitch: float) -> "SimulationSpec":
+        """The declarative spec of this study's MORE-Stress leg at one pitch.
+
+        One spec carries every array size as a :class:`~repro.api.LoadCase`
+        (the ROMs depend only on the pitch/mesh/scheme, so the executor
+        builds them once and reuses them across sizes).
+        """
+        from repro.api.spec import GeometrySpec, LoadCase, MeshSpec, SimulationSpec
+
+        return SimulationSpec(
+            name=f"scenario1-pitch{pitch:g}",
+            geometry=GeometrySpec(pitch=pitch, rows=self.array_sizes[0]),
+            mesh=MeshSpec(
+                resolution=self.mesh_resolution,
+                nodes_per_axis=self.nodes_per_axis,
+                points_per_block=self.points_per_block,
+            ),
+            load_cases=tuple(
+                LoadCase(name=f"{size}x{size}", delta_t=self.delta_t, rows=size)
+                for size in self.array_sizes
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class Scenario2Config:
@@ -96,6 +123,43 @@ class Scenario2Config:
             superposition_window_blocks=5,
         )
 
+    def to_spec(self, pitch: float) -> "SimulationSpec":
+        """The declarative spec of this study's MORE-Stress leg at one pitch.
+
+        One spec carries every package location as a
+        :class:`~repro.api.LoadCase`; the executor resolves the locations,
+        shares the ROMs and applies the coarse-model displacements.
+        """
+        from repro.api.spec import (
+            GeometrySpec,
+            LoadCase,
+            MeshSpec,
+            SimulationSpec,
+            SubModelSpec,
+        )
+
+        return SimulationSpec(
+            name=f"scenario2-pitch{pitch:g}",
+            geometry=GeometrySpec(
+                pitch=pitch, rows=self.array_rows, cols=self.array_cols
+            ),
+            mesh=MeshSpec(
+                resolution=self.mesh_resolution,
+                nodes_per_axis=self.nodes_per_axis,
+                points_per_block=self.points_per_block,
+            ),
+            load_cases=tuple(
+                LoadCase(name=location, delta_t=self.delta_t, location=location)
+                for location in self.locations
+            ),
+            submodel=SubModelSpec(
+                dummy_ring_width=self.dummy_ring_width,
+                coarse_inplane_cells=self.coarse_inplane_cells,
+                package_scale=self.package_scale,
+                location=self.locations[0],
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class ConvergenceConfig:
@@ -123,6 +187,26 @@ class ConvergenceConfig:
     def paper(cls) -> "ConvergenceConfig":
         """The paper's configuration (20x20 array, 100x100 grid per block)."""
         return cls(array_size=20, mesh_resolution="paper", points_per_block=100)
+
+    def to_spec(self, nodes_per_axis: tuple[int, int, int]) -> "SimulationSpec":
+        """The declarative spec of one node-count point of the study.
+
+        Each node count is its own spec (the interpolation scheme changes the
+        ROM fingerprint, so there is nothing to share between points).
+        """
+        from repro.api.spec import GeometrySpec, LoadCase, MeshSpec, SimulationSpec
+
+        nodes = tuple(nodes_per_axis)
+        return SimulationSpec(
+            name=f"convergence-n{'x'.join(str(n) for n in nodes)}",
+            geometry=GeometrySpec(pitch=self.pitch, rows=self.array_size),
+            mesh=MeshSpec(
+                resolution=self.mesh_resolution,
+                nodes_per_axis=nodes,
+                points_per_block=self.points_per_block,
+            ),
+            load_cases=(LoadCase(name="cooldown", delta_t=self.delta_t),),
+        )
 
 
 __all__ = ["Scenario1Config", "Scenario2Config", "ConvergenceConfig"]

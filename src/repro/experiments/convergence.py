@@ -14,12 +14,13 @@ from dataclasses import dataclass
 
 from repro.analysis.metrics import normalized_mae
 from repro.analysis.reporting import ResultTable, format_seconds
+from repro.api import run as run_spec
 from repro.baselines.full_fem import FullFEMReference
 from repro.experiments.config import ConvergenceConfig
 from repro.geometry.array_layout import TSVArrayLayout
 from repro.geometry.tsv import TSVGeometry
 from repro.materials.library import MaterialLibrary
-from repro.rom.workflow import MoreStressSimulator
+from repro.rom.interpolation import InterpolationScheme
 from repro.utils.logging import get_logger
 from repro.utils.parallel import parallel_map, resolve_jobs
 
@@ -79,22 +80,21 @@ def run_convergence_study(
 
     def run_case(nodes: tuple[int, int, int]) -> ConvergenceRecord:
         _logger.info("convergence: nodes=%s", nodes)
-        simulator = MoreStressSimulator(
-            tsv,
-            materials,
-            mesh_resolution=config.mesh_resolution,
-            nodes_per_axis=nodes,
+        # Each node count runs through the declarative executor as its own
+        # spec (the scheme is part of the ROM fingerprint).
+        rom_run = run_spec(
+            config.to_spec(nodes_per_axis=nodes),
+            materials=materials,
             rom_cache=rom_cache,
             jobs=inner_jobs,
         )
-        result = simulator.simulate_array(rows=config.array_size, delta_t=config.delta_t)
-        rom_vm = result.von_mises_midplane(config.points_per_block)
+        case = rom_run.cases[0]
         return ConvergenceRecord(
             nodes_per_axis=tuple(nodes),
-            num_element_dofs=simulator.scheme.num_element_dofs,
-            local_stage_seconds=simulator.local_stage_seconds,
-            global_stage_seconds=result.global_stage_seconds,
-            error=normalized_mae(rom_vm, reference_vm),
+            num_element_dofs=InterpolationScheme(tuple(nodes)).num_element_dofs,
+            local_stage_seconds=case.local_stage_seconds,
+            global_stage_seconds=case.global_stage_seconds,
+            error=normalized_mae(case.von_mises, reference_vm),
         )
 
     records = parallel_map(run_case, config.node_counts, jobs=outer_jobs)

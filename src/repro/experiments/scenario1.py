@@ -18,13 +18,13 @@ from dataclasses import dataclass
 
 from repro.analysis.metrics import normalized_mae
 from repro.analysis.reporting import ResultTable, format_bytes, format_seconds
+from repro.api import run as run_spec
 from repro.baselines.full_fem import FullFEMReference
 from repro.baselines.linear_superposition import LinearSuperpositionMethod
 from repro.experiments.config import Scenario1Config
 from repro.geometry.array_layout import TSVArrayLayout
 from repro.geometry.tsv import TSVGeometry
 from repro.materials.library import MaterialLibrary
-from repro.rom.workflow import MoreStressSimulator
 from repro.utils.logging import get_logger
 from repro.utils.parallel import parallel_map, resolve_jobs
 
@@ -92,25 +92,25 @@ def run_scenario1(
     def run_pitch(pitch: float) -> list[Scenario1Record]:
         records: list[Scenario1Record] = []
         tsv = TSVGeometry.paper_default(pitch=pitch)
-        simulator = MoreStressSimulator(
-            tsv,
-            materials,
-            mesh_resolution=config.mesh_resolution,
-            nodes_per_axis=config.nodes_per_axis,
-            rom_cache=rom_cache,
-            jobs=inner_jobs,
-        )
         superposition = LinearSuperpositionMethod(
             materials,
             resolution=config.mesh_resolution,
             window_blocks=config.superposition_window_blocks,
         )
         reference = FullFEMReference(materials, resolution=config.mesh_resolution)
-
-        # One-shot stages are run once per pitch (geometry change), exactly as
-        # the paper accounts for them.
-        simulator.build_roms()
         superposition.prepare(tsv)
+
+        # The MORE-Stress leg runs through the declarative executor: one spec
+        # per pitch carries every array size, so the one-shot local stage runs
+        # once (exactly as the paper accounts for it) and each size is its own
+        # execution group.
+        rom_run = run_spec(
+            config.to_spec(pitch=pitch),
+            materials=materials,
+            rom_cache=rom_cache,
+            jobs=inner_jobs,
+        )
+        rom_cases = {case.rows: case for case in rom_run.cases}
 
         for size in config.array_sizes:
             layout = TSVArrayLayout.full(tsv, rows=size)
@@ -124,9 +124,7 @@ def run_scenario1(
             )
             superposition_vm = estimate.von_mises_midplane()
 
-            result = simulator.simulate_array(rows=size, delta_t=config.delta_t)
-            rom_vm = result.von_mises_midplane(config.points_per_block)
-
+            case = rom_cases[size]
             records.append(
                 Scenario1Record(
                     pitch=pitch,
@@ -137,11 +135,11 @@ def run_scenario1(
                     superposition_seconds=estimate.estimation_seconds,
                     superposition_peak_bytes=estimate.peak_memory_bytes,
                     superposition_error=normalized_mae(superposition_vm, reference_vm),
-                    rom_local_stage_seconds=simulator.local_stage_seconds,
-                    rom_global_stage_seconds=result.global_stage_seconds,
-                    rom_peak_bytes=result.peak_memory_bytes,
-                    rom_error=normalized_mae(rom_vm, reference_vm),
-                    rom_global_dofs=result.num_global_dofs,
+                    rom_local_stage_seconds=case.local_stage_seconds,
+                    rom_global_stage_seconds=case.global_stage_seconds,
+                    rom_peak_bytes=case.peak_memory_bytes,
+                    rom_error=normalized_mae(case.von_mises, reference_vm),
+                    rom_global_dofs=case.num_global_dofs,
                 )
             )
         return records

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.analysis.metrics import normalized_mae
 from repro.analysis.reporting import ResultTable, format_bytes, format_seconds
+from repro.api import run as run_spec
 from repro.baselines.coarse_model import CoarseChipletModel
 from repro.baselines.full_fem import FullFEMReference
 from repro.baselines.linear_superposition import LinearSuperpositionMethod
@@ -31,8 +32,7 @@ from repro.experiments.config import Scenario2Config
 from repro.geometry.package import ChipletPackage
 from repro.geometry.tsv import TSVGeometry
 from repro.materials.library import MaterialLibrary
-from repro.rom.submodeling import SubModelingDriver
-from repro.rom.workflow import MoreStressSimulator
+from repro.rom.submodeling import place_submodel
 from repro.utils.logging import get_logger
 from repro.utils.parallel import parallel_map, resolve_jobs
 
@@ -111,20 +111,6 @@ def run_scenario2(
             coarse_solution.warpage(),
         )
 
-        simulator = MoreStressSimulator(
-            tsv,
-            materials,
-            mesh_resolution=config.mesh_resolution,
-            nodes_per_axis=config.nodes_per_axis,
-            rom_cache=rom_cache,
-            jobs=inner_jobs,
-        )
-        driver = SubModelingDriver(
-            simulator=simulator,
-            package=package,
-            coarse_solution=coarse_solution,
-            dummy_ring_width=config.dummy_ring_width,
-        )
         superposition = LinearSuperpositionMethod(
             materials,
             resolution=config.mesh_resolution,
@@ -136,9 +122,27 @@ def run_scenario2(
         background_stress = coarse_solution.stress_field_per_unit_load()
         displacement_field = coarse_solution.displacement_field()
 
+        # The MORE-Stress leg runs through the declarative executor: one spec
+        # per pitch carries every package location, sharing the ROMs and the
+        # already-solved coarse package model.
+        rom_run = run_spec(
+            config.to_spec(pitch=pitch),
+            materials=materials,
+            rom_cache=rom_cache,
+            jobs=inner_jobs,
+            coarse_solution=coarse_solution,
+        )
+
         for location_name in config.locations:
-            location = driver.location(location_name, config.array_rows, config.array_cols)
-            layout = driver.padded_layout(config.array_rows, config.array_cols, location)
+            case = rom_run.case(location_name)
+            _, layout = place_submodel(
+                tsv,
+                package,
+                rows=config.array_rows,
+                cols=config.array_cols,
+                ring_width=config.dummy_ring_width,
+                location=location_name,
+            )
             _logger.info("scenario 2: pitch=%g location=%s", pitch, location_name)
 
             reference_solution = reference.solve_array(
@@ -157,14 +161,6 @@ def run_scenario2(
             )
             superposition_vm = estimate.von_mises_midplane()
 
-            result = driver.simulate(
-                rows=config.array_rows,
-                cols=config.array_cols,
-                location=location,
-                delta_t=config.delta_t,
-            )
-            rom_vm = result.von_mises_midplane(config.points_per_block)
-
             records.append(
                 Scenario2Record(
                     pitch=pitch,
@@ -177,9 +173,9 @@ def run_scenario2(
                     superposition_seconds=estimate.estimation_seconds,
                     superposition_peak_bytes=estimate.peak_memory_bytes,
                     superposition_error=normalized_mae(superposition_vm, reference_vm),
-                    rom_global_stage_seconds=result.global_stage_seconds,
-                    rom_peak_bytes=result.peak_memory_bytes,
-                    rom_error=normalized_mae(rom_vm, reference_vm),
+                    rom_global_stage_seconds=case.global_stage_seconds,
+                    rom_peak_bytes=case.peak_memory_bytes,
+                    rom_error=normalized_mae(case.von_mises, reference_vm),
                 )
             )
         return records

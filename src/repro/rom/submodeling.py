@@ -22,8 +22,32 @@ from dataclasses import dataclass
 from repro.baselines.coarse_model import CoarsePackageSolution
 from repro.geometry.array_layout import TSVArrayLayout
 from repro.geometry.package import ChipletPackage, SubModelLocation
+from repro.geometry.tsv import TSVGeometry
 from repro.rom.workflow import MoreStressSimulator, SimulationResult
 from repro.utils.validation import ValidationError, check_positive_int
+
+
+def place_submodel(
+    tsv: TSVGeometry,
+    package: ChipletPackage,
+    rows: int,
+    cols: int | None,
+    ring_width: int,
+    location: str | SubModelLocation,
+) -> tuple[SubModelLocation, TSVArrayLayout]:
+    """Resolve a package location and build the padded sub-model layout there.
+
+    The single source of truth for sub-model placement, shared by
+    :class:`SubModelingDriver`, the spec executor (:mod:`repro.api.executor`)
+    and the scenario-2 experiment driver: a probe layout (array plus
+    ``ring_width`` dummy rings at the origin) sizes the footprint, the named
+    location is resolved against the package, and the same layout is placed
+    at the resolved origin.
+    """
+    probe = TSVArrayLayout.with_dummy_ring(tsv, rows=rows, cols=cols, ring_width=ring_width)
+    if isinstance(location, str):
+        location = package.location(location, probe)
+    return location, probe.translated(location.origin)
 
 
 @dataclass
@@ -64,22 +88,25 @@ class SubModelingDriver:
     # ------------------------------------------------------------------ #
     def padded_layout(self, rows: int, cols: int | None, location: SubModelLocation) -> TSVArrayLayout:
         """The dummy-padded sub-model layout placed at a package location."""
-        return TSVArrayLayout.with_dummy_ring(
+        return place_submodel(
             self.simulator.tsv,
+            self.package,
             rows=rows,
             cols=cols,
             ring_width=self.dummy_ring_width,
-            origin=location.origin,
-        )
+            location=location,
+        )[1]
 
     def location(self, name_or_location: str | SubModelLocation, rows: int, cols: int | None = None) -> SubModelLocation:
         """Resolve a location name (``"loc1"``..``"loc5"``) to a placement."""
-        if isinstance(name_or_location, SubModelLocation):
-            return name_or_location
-        probe_layout = TSVArrayLayout.with_dummy_ring(
-            self.simulator.tsv, rows=rows, cols=cols, ring_width=self.dummy_ring_width
-        )
-        return self.package.location(name_or_location, probe_layout)
+        return place_submodel(
+            self.simulator.tsv,
+            self.package,
+            rows=rows,
+            cols=cols,
+            ring_width=self.dummy_ring_width,
+            location=name_or_location,
+        )[0]
 
     # ------------------------------------------------------------------ #
     # simulation
@@ -92,6 +119,13 @@ class SubModelingDriver:
         delta_t: float | None = None,
     ) -> SimulationResult:
         """Simulate the embedded TSV array at one package location.
+
+        .. deprecated::
+            Thin adapter kept for convenience: a sub-model run is equally
+            described by a :class:`repro.api.SimulationSpec` with a
+            :class:`repro.api.SubModelSpec` and executed with
+            :func:`repro.api.run`, which shares the coarse solve and the
+            factorisation across multi-case location/load studies.
 
         ``delta_t`` defaults to the thermal load of the coarse solution (the
         physically consistent choice); passing a different value is allowed
@@ -112,4 +146,4 @@ class SubModelingDriver:
         )
 
 
-__all__ = ["SubModelingDriver"]
+__all__ = ["SubModelingDriver", "place_submodel"]

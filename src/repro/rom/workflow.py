@@ -6,6 +6,11 @@ simulate arrays of arbitrary sizes, thermal loads and (via sub-modeling)
 package locations.  The reduced order models are built lazily and cached, so
 repeated simulations pay only the global-stage cost — exactly the usage model
 the paper advertises.
+
+The actual execution lives in the declarative layer
+(:func:`repro.api.execute_cases` / :func:`repro.api.run`); the ``simulate_*``
+methods here are thin, signature-stable adapters kept for convenience and
+backward compatibility.
 """
 
 from __future__ import annotations
@@ -25,12 +30,10 @@ from repro.materials.library import MaterialLibrary
 from repro.materials.temperature import ThermalLoad
 from repro.mesh.resolution import MeshResolution
 from repro.rom.cache import ROMCache
-from repro.rom.global_stage import GlobalSolution, GlobalStage
+from repro.rom.global_stage import GlobalSolution
 from repro.rom.interpolation import InterpolationScheme
 from repro.rom.local_stage import LocalStage
 from repro.rom.rom_model import ReducedOrderModel
-from repro.utils.memory import PeakMemoryTracker
-from repro.utils.timing import Timer
 from repro.utils.validation import ValidationError
 
 
@@ -218,6 +221,13 @@ class MoreStressSimulator:
     ) -> SimulationResult:
         """Simulate a TSV array and return the reduced-order solution.
 
+        .. deprecated::
+            This is a thin adapter over the declarative executor
+            (:func:`repro.api.execute_cases`); new code should describe runs
+            as a :class:`repro.api.SimulationSpec` and call
+            :func:`repro.api.run`, which also batches multi-case workloads
+            and records provenance.  The signature is kept stable.
+
         Parameters
         ----------
         rows, cols:
@@ -234,32 +244,18 @@ class MoreStressSimulator:
             Callable mapping global coordinates to displacements, required
             for ``boundary="submodel"``.
         """
-        if isinstance(delta_t, ThermalLoad):
-            delta_t = delta_t.delta_t
+        from repro.api.executor import execute_cases
+
         if layout is None:
             layout = TSVArrayLayout.full(self.tsv, rows=rows, cols=cols)
-        include_dummy = layout.num_dummy_blocks > 0
-        self.build_roms(include_dummy=include_dummy)
-
-        stage = GlobalStage(
-            roms=self._roms,
-            materials=self.materials,
-            solver_options=self.solver_options,
-        )
-        timer = Timer()
-        with PeakMemoryTracker() as tracker, timer:
-            solution = stage.solve(
-                layout,
-                delta_t=float(delta_t),
-                boundary_condition=boundary,
-                displacement_field=displacement_field,
-            )
-        return SimulationResult(
-            solution=solution,
-            local_stage_seconds=self.local_stage_seconds,
-            global_stage_seconds=timer.elapsed,
-            peak_memory_bytes=tracker.peak_bytes,
-        )
+        return execute_cases(
+            self,
+            layout,
+            [delta_t],
+            boundary=boundary,
+            displacement_fields=displacement_field,
+            batched=False,
+        )[0]
 
     def simulate_load_sweep(
         self,
@@ -272,39 +268,30 @@ class MoreStressSimulator:
     ) -> list[SimulationResult]:
         """Simulate one array under many thermal loads with one factorisation.
 
-        Thin wrapper over :meth:`GlobalStage.solve_many`: the global system is
-        assembled and factorised once and every ``delta_t`` (and, for
+        .. deprecated::
+            Thin adapter over :func:`repro.api.execute_cases` (batched mode);
+            prefer a multi-:class:`~repro.api.LoadCase`
+            :class:`~repro.api.SimulationSpec` with :func:`repro.api.run`.
+            The signature is kept stable.
+
+        The global system is assembled and factorised once
+        (:meth:`GlobalStage.solve_many`) and every ``delta_t`` (and, for
         ``boundary="submodel"``, every displacement-field variant) is a cheap
         back-substitution.  Returns one :class:`SimulationResult` per load;
         the shared global-stage wall-clock time is attributed to each result.
         """
+        from repro.api.executor import execute_cases
+
         if layout is None:
             layout = TSVArrayLayout.full(self.tsv, rows=rows, cols=cols)
-        include_dummy = layout.num_dummy_blocks > 0
-        self.build_roms(include_dummy=include_dummy)
-
-        stage = GlobalStage(
-            roms=self._roms,
-            materials=self.materials,
-            solver_options=self.solver_options,
+        return execute_cases(
+            self,
+            layout,
+            delta_ts,
+            boundary=boundary,
+            displacement_fields=displacement_fields,
+            batched=True,
         )
-        timer = Timer()
-        with PeakMemoryTracker() as tracker, timer:
-            solutions = stage.solve_many(
-                layout,
-                [dt.delta_t if isinstance(dt, ThermalLoad) else float(dt) for dt in delta_ts],
-                boundary_condition=boundary,
-                displacement_fields=displacement_fields,
-            )
-        return [
-            SimulationResult(
-                solution=solution,
-                local_stage_seconds=self.local_stage_seconds,
-                global_stage_seconds=timer.elapsed,
-                peak_memory_bytes=tracker.peak_bytes,
-            )
-            for solution in solutions
-        ]
 
 
 __all__ = ["MoreStressSimulator", "SimulationResult"]

@@ -4,18 +4,40 @@ Reduced order models are the product of the one-shot local stage and are meant
 to be computed once per (material, geometry) configuration and reused for
 arbitrarily many global-stage solves, possibly in separate processes.  They
 are therefore persisted as a ``.npz`` bundle containing all dense arrays plus
-a JSON metadata blob.
+a JSON metadata blob.  Plain-JSON documents (spec files, run manifests) go
+through :func:`dump_json`/:func:`load_json`, which write atomically so a
+killed process never leaves a half-written manifest behind.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import uuid
 from pathlib import Path
 from typing import Any, Mapping
 
 import numpy as np
 
 _META_KEY = "__metadata_json__"
+
+
+def dump_json(path: str | Path, data: Any, indent: int = 2) -> Path:
+    """Write ``data`` as JSON to ``path`` atomically (tmp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.parent / f".tmp-{uuid.uuid4().hex}{path.suffix or '.json'}"
+    try:
+        temporary.write_text(json.dumps(data, indent=indent, sort_keys=True) + "\n")
+        os.replace(temporary, path)
+    finally:
+        temporary.unlink(missing_ok=True)
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document written by :func:`dump_json` (or any JSON file)."""
+    return json.loads(Path(path).read_text())
 
 
 def save_npz_bundle(
@@ -74,4 +96,4 @@ def load_npz_bundle(path: str | Path) -> tuple[dict[str, np.ndarray], dict[str, 
     return arrays, metadata
 
 
-__all__ = ["save_npz_bundle", "load_npz_bundle"]
+__all__ = ["save_npz_bundle", "load_npz_bundle", "dump_json", "load_json"]
