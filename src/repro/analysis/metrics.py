@@ -23,6 +23,15 @@ def _as_matching_arrays(predicted: np.ndarray, reference: np.ndarray) -> tuple[n
         )
     if predicted.size == 0:
         raise ValidationError("cannot compute an error over empty arrays")
+    # NaN/Inf would silently survive max(|.|) and the division and poison the
+    # metric; fail loudly and name the offending array instead.
+    for name, array in (("prediction", predicted), ("reference", reference)):
+        if not np.all(np.isfinite(array)):
+            bad = int(np.count_nonzero(~np.isfinite(array)))
+            raise ValidationError(
+                f"{name} field contains {bad} non-finite value(s) (NaN/Inf); "
+                "error metrics are undefined over non-finite fields"
+            )
     return predicted, reference
 
 

@@ -11,17 +11,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.utils.validation import ValidationError
+
 
 def format_seconds(seconds: float) -> str:
-    """Human-friendly duration (ms below one second, s above)."""
+    """Human-friendly duration (ms below one second, then s / min / h)."""
+    seconds = float(seconds)
     if seconds < 1.0:
         return f"{seconds * 1e3:.0f} ms"
-    return f"{seconds:.2f} s"
+    if seconds < 60.0:
+        return f"{seconds:.2f} s"
+    if seconds < 3600.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"
 
 
 def format_bytes(num_bytes: float) -> str:
-    """Human-friendly memory size."""
+    """Human-friendly memory size.  Negative sizes are invalid and rejected."""
     value = float(num_bytes)
+    if value < 0.0:
+        raise ValidationError(f"a byte count cannot be negative, got {num_bytes!r}")
     for unit in ("B", "KiB", "MiB", "GiB"):
         if value < 1024.0 or unit == "GiB":
             return f"{value:.2f} {unit}"

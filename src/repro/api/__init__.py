@@ -16,12 +16,14 @@ from repro.api.executor import execute_cases, run
 from repro.api.result import CaseResult, RunResult
 from repro.api.spec import (
     KNOWN_MATERIAL_ROLES,
+    KNOWN_OUTPUT_FORMATS,
     SCHEMA_VERSION,
     GeometrySpec,
     LoadCase,
     MaterialOverride,
     MaterialsSpec,
     MeshSpec,
+    OutputSpec,
     ResolvedCase,
     SimulationSpec,
     SolverSpec,
@@ -32,6 +34,7 @@ from repro.api.spec import (
 __all__ = [
     "SCHEMA_VERSION",
     "KNOWN_MATERIAL_ROLES",
+    "KNOWN_OUTPUT_FORMATS",
     "SpecError",
     "GeometrySpec",
     "MaterialOverride",
@@ -40,6 +43,7 @@ __all__ = [
     "SolverSpec",
     "LoadCase",
     "SubModelSpec",
+    "OutputSpec",
     "ResolvedCase",
     "SimulationSpec",
     "CaseResult",

@@ -29,6 +29,8 @@ from repro.materials.library import MaterialLibrary
 from repro.materials.temperature import ThermalLoad
 from repro.api.result import CaseResult, RunResult
 from repro.api.spec import ResolvedCase, SimulationSpec
+from repro.postprocess.fields import reconstruct_array_field
+from repro.postprocess.hotspots import analyze_hotspots
 from repro.rom.cache import ROMCache
 from repro.rom.global_stage import GlobalStage
 from repro.utils.logging import get_logger
@@ -198,6 +200,9 @@ def run(
     )
 
     case_results: list[CaseResult | None] = [None] * len(cases)
+    # Shared across all cases of the run (the ROMs are, too): the geometric
+    # sampler precomputation happens once per block kind, not once per case.
+    field_sampler_cache: dict = {}
     for group_index, ((rows, cols, location), members) in enumerate(groups):
         if spec.submodel is None:
             layout = TSVArrayLayout.full(simulator.tsv, rows=rows, cols=cols)
@@ -228,6 +233,23 @@ def run(
         )
         for (case_index, case), result in zip(members, results):
             stats = result.solution.solver_stats
+            field_data = None
+            hotspot_report = None
+            if spec.output is not None:
+                # Streamed full-field reconstruction: one sampler per block
+                # kind, one block's fine field in memory at a time.
+                field_data = reconstruct_array_field(
+                    result.solution,
+                    points_per_block=spec.output.resolved_points_per_block(spec.mesh),
+                    z_planes=spec.output.z_planes,
+                    jobs=simulator.jobs,
+                    sampler_cache=field_sampler_cache,
+                )
+                if spec.output.hotspots:
+                    hotspot_report = analyze_hotspots(
+                        field_data,
+                        threshold_fraction=spec.output.hotspot_threshold_fraction,
+                    )
             case_results[case_index] = CaseResult(
                 name=case.name,
                 delta_t=case.delta_t,
@@ -241,6 +263,8 @@ def run(
                 peak_memory_bytes=result.peak_memory_bytes,
                 solver_method=stats.method if stats is not None else "unknown",
                 group=group_index,
+                field_data=field_data,
+                hotspots=hotspot_report,
                 simulation=result,
             )
 

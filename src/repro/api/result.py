@@ -11,6 +11,7 @@ a run can be archived, shipped and re-inspected without re-solving.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -19,6 +20,8 @@ import numpy as np
 
 from repro._version import __version__
 from repro.api.spec import SCHEMA_VERSION, SimulationSpec, SpecError
+from repro.postprocess.fields import ArrayField
+from repro.postprocess.hotspots import HotspotReport
 from repro.utils.serialization import (
     load_json,
     load_npz_bundle,
@@ -31,6 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 _MANIFEST_NAME = "manifest.json"
 _FIELDS_NAME = "fields.npz"
+_EXPORT_SUBDIR = "fields"
+_HOTSPOTS_NAME = "hotspots.json"
+
+
+def _safe_name(name: str) -> str:
+    """A filesystem-safe version of a case name."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "case"
+
+
+def _case_stem(index: int, name: str) -> str:
+    """File stem of one case's field exports (shared by save/export/load)."""
+    return f"case{index}_{_safe_name(name)}"
 
 
 @dataclass(frozen=True, eq=False)
@@ -51,6 +66,14 @@ class CaseResult:
     solver_method:
         The solver/backed actually used (from :class:`SolveStats`), e.g.
         ``"gmres"`` or ``"direct-batched"``.
+    field_data:
+        The full volumetric :class:`~repro.postprocess.fields.ArrayField` of
+        this case when the spec requested one (:class:`OutputSpec`),
+        otherwise ``None``.  Persisted by :meth:`RunResult.save` and
+        reloaded by :meth:`RunResult.load`.
+    hotspots:
+        Per-TSV :class:`~repro.postprocess.hotspots.HotspotReport` when the
+        spec's output requested hotspot analytics, otherwise ``None``.
     simulation:
         The live :class:`~repro.rom.workflow.SimulationResult` with full
         reconstruction helpers.  ``None`` on results re-loaded from disk.
@@ -68,6 +91,8 @@ class CaseResult:
     peak_memory_bytes: int
     solver_method: str
     group: int
+    field_data: ArrayField | None = field(default=None, repr=False)
+    hotspots: HotspotReport | None = field(default=None, repr=False)
     simulation: "SimulationResult | None" = field(default=None, repr=False)
 
     @property
@@ -97,6 +122,8 @@ class CaseResult:
             "field_shape": [int(n) for n in self.von_mises.shape],
             "peak_von_mises": self.peak_von_mises,
             "mean_von_mises": self.mean_von_mises,
+            "field": None if self.field_data is None else self.field_data.summary(),
+            "hotspots": None if self.hotspots is None else self.hotspots.to_dict(),
         }
 
 
@@ -171,8 +198,78 @@ class RunResult:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
+    def export_fields(
+        self,
+        directory: str | Path,
+        formats: tuple[str, ...] | None = None,
+    ) -> list[Path]:
+        """Write the full-field exports of every case carrying a field.
+
+        Parameters
+        ----------
+        directory:
+            Destination directory (created if missing).
+        formats:
+            Export formats, a subset of ``("vtk", "npz")``.  Defaults to the
+            spec's :class:`OutputSpec` formats (or both when the spec has no
+            output section).
+
+        Returns
+        -------
+        list of pathlib.Path
+            All files written.  Empty when no case carries a field.  When any
+            case carries a hotspot report, a ``hotspots.json`` with the
+            complete per-TSV records of every case is written alongside the
+            fields (top-K selection is a presentation concern —
+            :meth:`HotspotReport.table` — not a persistence one).
+        """
+        from repro.postprocess.vtk import write_vtk_rectilinear
+
+        directory = Path(directory)
+        if formats is None:
+            formats = (
+                self.spec.output.formats if self.spec.output is not None else ("vtk", "npz")
+            )
+        unknown = set(formats) - {"vtk", "npz"}
+        if unknown:
+            raise SpecError(
+                f"unknown export formats {sorted(unknown)}; choose from ['npz', 'vtk']"
+            )
+        written: list[Path] = []
+        hotspot_docs: dict[str, Any] = {}
+        for index, case in enumerate(self.cases):
+            if case.field_data is None:
+                continue
+            directory.mkdir(parents=True, exist_ok=True)
+            stem = _case_stem(index, case.name)
+            if "npz" in formats:
+                written.append(case.field_data.save(directory / stem))
+            if "vtk" in formats:
+                written.append(
+                    write_vtk_rectilinear(
+                        directory / f"{stem}.vtk",
+                        case.field_data,
+                        title=f"{self.spec.name}/{case.name} delta_t={case.delta_t:g}",
+                    )
+                )
+            if case.hotspots is not None:
+                hotspot_docs[case.name] = case.hotspots.to_dict()
+        if hotspot_docs:
+            written.append(
+                dump_json(
+                    directory / _HOTSPOTS_NAME,
+                    {"spec_hash": self.spec_hash, "cases": hotspot_docs},
+                )
+            )
+        return written
+
     def save(self, directory: str | Path) -> Path:
-        """Persist manifest + stress fields to ``directory``; returns it."""
+        """Persist manifest + stress fields to ``directory``; returns it.
+
+        Cases carrying a full :class:`ArrayField` additionally write their
+        exports under ``<directory>/fields/`` — the requested formats plus
+        always ``.npz`` (the lossless bundle :meth:`load` reads back).
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         dump_json(directory / _MANIFEST_NAME, self.manifest())
@@ -183,6 +280,12 @@ class RunResult:
         save_npz_bundle(
             directory / _FIELDS_NAME, arrays, metadata={"spec_hash": self.spec_hash}
         )
+        if any(case.field_data is not None for case in self.cases):
+            requested = (
+                self.spec.output.formats if self.spec.output is not None else ()
+            )
+            formats = tuple(sorted({*requested, "npz"}))
+            self.export_fields(directory / _EXPORT_SUBDIR, formats=formats)
         return directory
 
     @classmethod
@@ -210,6 +313,17 @@ class RunResult:
             key = f"von_mises_{index}"
             if key not in arrays:
                 raise SpecError(f"{_FIELDS_NAME} is missing array {key!r}")
+            field_data = None
+            if entry.get("field") is not None:
+                stem = _case_stem(index, entry["name"])
+                bundle = directory / _EXPORT_SUBDIR / f"{stem}.npz"
+                if bundle.exists():
+                    field_data = ArrayField.load(bundle)
+            hotspots = (
+                HotspotReport.from_dict(entry["hotspots"])
+                if entry.get("hotspots") is not None
+                else None
+            )
             cases.append(
                 CaseResult(
                     name=entry["name"],
@@ -224,6 +338,8 @@ class RunResult:
                     peak_memory_bytes=int(entry["peak_memory_bytes"]),
                     solver_method=entry["solver_method"],
                     group=int(entry["group"]),
+                    field_data=field_data,
+                    hotspots=hotspots,
                 )
             )
         return cls(

@@ -621,6 +621,126 @@ class SubModelSpec:
 
 
 # --------------------------------------------------------------------------- #
+# outputs
+# --------------------------------------------------------------------------- #
+#: Field-export formats the post-processing stage can materialize.
+KNOWN_OUTPUT_FORMATS = ("vtk", "npz")
+
+
+@dataclass(frozen=True)
+class OutputSpec:
+    """Requested post-processing outputs of a run (paper-and-beyond artifacts).
+
+    When present, every load case gets a full-field reconstruction
+    (:mod:`repro.postprocess`): a structured grid of displacement, Voigt
+    stress and von Mises stress sampled ``points_per_block`` x
+    ``points_per_block`` x ``z_planes`` per block, exported in the requested
+    ``formats``, plus (optionally) a per-TSV hotspot report.
+
+    ``points_per_block`` defaults to the mesh spec's sampling density;
+    ``z_planes`` must be odd so the half-height plane of the paper's error
+    metric is one of the sampled planes.
+    """
+
+    formats: tuple[str, ...] = ("vtk", "npz")
+    points_per_block: int | None = None
+    z_planes: int = 5
+    hotspots: bool = True
+    hotspot_threshold_fraction: float = 0.8
+    top_k: int = 10
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "formats", tuple(self.formats))
+        if not self.formats:
+            raise ValidationError(
+                f"formats must contain at least one of {list(KNOWN_OUTPUT_FORMATS)}"
+            )
+        seen: set[str] = set()
+        for fmt in self.formats:
+            if fmt not in KNOWN_OUTPUT_FORMATS:
+                raise ValidationError(
+                    f"formats entries must be one of {list(KNOWN_OUTPUT_FORMATS)}, "
+                    f"got {fmt!r}"
+                )
+            if fmt in seen:
+                raise ValidationError(f"format {fmt!r} is listed twice")
+            seen.add(fmt)
+        if self.points_per_block is not None:
+            check_positive_int("points_per_block", self.points_per_block, minimum=2)
+        check_positive_int("z_planes", self.z_planes)
+        if self.z_planes % 2 == 0:
+            raise ValidationError(
+                "z_planes must be odd so the half-height plane is sampled, "
+                f"got {self.z_planes}"
+            )
+        check_in_range(
+            "hotspot_threshold_fraction",
+            self.hotspot_threshold_fraction,
+            0.0,
+            1.0,
+            inclusive=False,
+        )
+        check_positive_int("top_k", self.top_k)
+
+    def resolved_points_per_block(self, mesh: "MeshSpec") -> int:
+        """``points_per_block`` with the mesh-spec default applied."""
+        if self.points_per_block is not None:
+            return self.points_per_block
+        return mesh.points_per_block
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "formats": list(self.formats),
+            "points_per_block": self.points_per_block,
+            "z_planes": self.z_planes,
+            "hotspots": self.hotspots,
+            "hotspot_threshold_fraction": self.hotspot_threshold_fraction,
+            "top_k": self.top_k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "output") -> "OutputSpec":
+        data = _as_mapping(data, path)
+        allowed = [f.name for f in fields(cls)]
+        _reject_unknown(data, allowed, path)
+        raw_formats = _get(data, "formats", path, list(cls.formats))
+        if not isinstance(raw_formats, (list, tuple)):
+            raise SpecError(f"{path}.formats: expected a list, got {raw_formats!r}")
+        formats = tuple(
+            _string(item, f"{path}.formats[{index}]")
+            for index, item in enumerate(raw_formats)
+        )
+        raw_hotspots = _get(data, "hotspots", path, cls.hotspots)
+        if not isinstance(raw_hotspots, bool):
+            raise SpecError(
+                f"{path}.hotspots: expected a boolean, got {raw_hotspots!r}"
+            )
+        kwargs = {
+            "formats": formats,
+            "points_per_block": _optional(
+                _get(data, "points_per_block", path, None),
+                _integer,
+                f"{path}.points_per_block",
+            ),
+            "z_planes": _integer(
+                _get(data, "z_planes", path, cls.z_planes), f"{path}.z_planes"
+            ),
+            "hotspots": raw_hotspots,
+            "hotspot_threshold_fraction": _number(
+                _get(
+                    data,
+                    "hotspot_threshold_fraction",
+                    path,
+                    cls.hotspot_threshold_fraction,
+                ),
+                f"{path}.hotspot_threshold_fraction",
+            ),
+            "top_k": _integer(_get(data, "top_k", path, cls.top_k), f"{path}.top_k"),
+        }
+        return _construct(cls, kwargs, path)
+
+
+# --------------------------------------------------------------------------- #
 # the spec
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -644,6 +764,7 @@ class SimulationSpec:
     solver: SolverSpec = field(default_factory=SolverSpec)
     load_cases: tuple[LoadCase, ...] = (LoadCase(),)
     submodel: SubModelSpec | None = None
+    output: OutputSpec | None = None
     name: str = "simulation"
 
     def __post_init__(self) -> None:
@@ -660,6 +781,10 @@ class SimulationSpec:
         if self.submodel is not None and not isinstance(self.submodel, SubModelSpec):
             raise ValidationError(
                 f"submodel must be a SubModelSpec or None, got {self.submodel!r}"
+            )
+        if self.output is not None and not isinstance(self.output, OutputSpec):
+            raise ValidationError(
+                f"output must be an OutputSpec or None, got {self.output!r}"
             )
         object.__setattr__(self, "load_cases", tuple(self.load_cases))
         if not self.load_cases:
@@ -739,6 +864,7 @@ class SimulationSpec:
             "solver": self.solver.to_dict(),
             "load_cases": [case.to_dict() for case in self.load_cases],
             "submodel": None if self.submodel is None else self.submodel.to_dict(),
+            "output": None if self.output is None else self.output.to_dict(),
         }
 
     @classmethod
@@ -754,6 +880,7 @@ class SimulationSpec:
             "solver",
             "load_cases",
             "submodel",
+            "output",
         ]
         _reject_unknown(data, allowed, path)
         version = _get(data, "schema_version", path, SCHEMA_VERSION)
@@ -775,6 +902,12 @@ class SimulationSpec:
             if raw_submodel is None
             else SubModelSpec.from_dict(raw_submodel, f"{path}.submodel")
         )
+        raw_output = _get(data, "output", path, None)
+        output = (
+            None
+            if raw_output is None
+            else OutputSpec.from_dict(raw_output, f"{path}.output")
+        )
         kwargs = {
             "name": _string(_get(data, "name", path, "simulation"), f"{path}.name"),
             "geometry": GeometrySpec.from_dict(
@@ -789,6 +922,7 @@ class SimulationSpec:
             ),
             "load_cases": load_cases,
             "submodel": submodel,
+            "output": output,
         }
         return _construct(cls, kwargs, path)
 
@@ -814,6 +948,7 @@ class SimulationSpec:
 __all__ = [
     "SCHEMA_VERSION",
     "KNOWN_MATERIAL_ROLES",
+    "KNOWN_OUTPUT_FORMATS",
     "KNOWN_SUBMODEL_LOCATIONS",
     "SpecError",
     "GeometrySpec",
@@ -823,6 +958,7 @@ __all__ = [
     "SolverSpec",
     "LoadCase",
     "SubModelSpec",
+    "OutputSpec",
     "ResolvedCase",
     "SimulationSpec",
 ]

@@ -14,6 +14,10 @@ The CLI exposes the most common workflows without writing Python:
 ``python -m repro run run.json``
     Execute a spec file end to end — array runs, multi-load sweeps and
     sub-model runs all go through the same executor.
+``python -m repro export results/``
+    Materialize full-field ``.vtk``/``.npz`` exports and the per-TSV hotspot
+    report from a saved results directory (``simulate``/``run`` accept
+    ``--export-field DIR`` to produce the same artifacts inline).
 ``python -m repro table1|table2|table3 --preset small``
     Regenerate the paper's tables (see EXPERIMENTS.md) and print them as text.
 
@@ -25,17 +29,20 @@ accessible — and scriptable — from Python.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro._version import __version__
 from repro.api import (
+    KNOWN_OUTPUT_FORMATS,
     MaterialOverride,
     MaterialsSpec,
     GeometrySpec,
     LoadCase,
     MeshSpec,
+    OutputSpec,
     RunResult,
     SimulationSpec,
     SolverSpec,
@@ -181,6 +188,16 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="json_path",
         help="also write the RunResult provenance manifest as JSON",
     )
+    simulate.add_argument(
+        "--export-field",
+        metavar="DIR",
+        default=None,
+        dest="export_field",
+        help=(
+            "reconstruct the full volumetric stress field, write .vtk/.npz "
+            "exports plus the hotspot report to DIR and print the top hotspots"
+        ),
+    )
 
     spec = subparsers.add_parser(
         "spec",
@@ -193,6 +210,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write the spec to a file instead of stdout",
+    )
+    spec.add_argument(
+        "--export-field",
+        action="store_true",
+        dest="export_field",
+        help="include a full-field 'output' section (vtk+npz+hotspots) in the template",
     )
 
     run = subparsers.add_parser(
@@ -219,6 +242,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist the full RunResult (manifest + stress fields) to a directory",
     )
+    run.add_argument(
+        "--export-field",
+        metavar="DIR",
+        default=None,
+        dest="export_field",
+        help=(
+            "force full-field outputs (adding a default 'output' section if "
+            "the spec has none) and write the exports + hotspot report to DIR"
+        ),
+    )
+
+    export = subparsers.add_parser(
+        "export",
+        help="export full-field .vtk/.npz + hotspot report from a saved results directory",
+    )
+    export.add_argument(
+        "results_dir",
+        metavar="RESULTS_DIR",
+        help="directory written by 'run --save' (or RunResult.save())",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="destination directory (default: RESULTS_DIR/fields)",
+    )
+    export.add_argument(
+        "--format",
+        action="append",
+        default=None,
+        dest="formats",
+        choices=sorted(KNOWN_OUTPUT_FORMATS),
+        help="export format (repeatable; default: the spec's formats, else both)",
+    )
+    export.add_argument(
+        "--rom-cache",
+        metavar="DIR",
+        default=None,
+        help="persistent ROM cache directory (used only if the run must be re-solved)",
+    )
+    _add_jobs_argument(export, "the field reconstruction")
 
     for name, help_text in (
         ("table1", "regenerate Table 1 (standalone arrays)"),
@@ -278,6 +343,9 @@ def _spec_from_args(args: argparse.Namespace) -> SimulationSpec:
     duplicate = next((role for role in roles if roles.count(role) > 1), None)
     if duplicate is not None:
         raise SpecError(f"--material: role {duplicate!r} is overridden twice")
+    # A truthy --export-field (a directory for simulate/run, a flag for spec)
+    # requests the full-field output section.
+    output = OutputSpec() if getattr(args, "export_field", None) else None
     return SimulationSpec(
         name="cli-simulate",
         geometry=GeometrySpec(
@@ -296,6 +364,7 @@ def _spec_from_args(args: argparse.Namespace) -> SimulationSpec:
         ),
         solver=SolverSpec(backend=args.solver_backend, jobs=args.jobs),
         load_cases=(LoadCase(name="cli", delta_t=args.delta_t),),
+        output=output,
     )
 
 
@@ -313,6 +382,18 @@ def _print_run_summary(result: RunResult, verbose_cache: bool = True) -> None:
     if verbose_cache and result.rom_cache_stats is not None:
         stats = result.rom_cache_stats
         print(f"rom cache         : {stats['hits']} hit(s), {stats['misses']} miss(es)")
+
+
+def _export_and_report(result: RunResult, directory: str | Path, formats=None) -> None:
+    """Write field exports + hotspot report and print the hotspot tables."""
+    written = result.export_fields(directory, formats=formats)
+    for path in written:
+        print(f"export            : {path}")
+    top_k = result.spec.output.top_k if result.spec.output is not None else 10
+    for case in result.cases:
+        if case.hotspots is not None:
+            print()
+            print(case.hotspots.table(top_k).to_text())
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -339,6 +420,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if args.json_path:
         dump_json(args.json_path, result.manifest())
         print(f"manifest          : {args.json_path}")
+    if args.export_field:
+        _export_and_report(result, args.export_field)
     return 0
 
 
@@ -367,6 +450,8 @@ def _command_run(args: argparse.Namespace) -> int:
     except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.export_field and spec.output is None:
+        spec = dataclasses.replace(spec, output=OutputSpec())
     result = run_simulation_spec(spec, rom_cache=args.rom_cache, jobs=args.jobs)
     print(f"spec              : {spec.name} ({result.spec_hash})")
     _print_run_summary(result)
@@ -376,6 +461,38 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.save:
         result.save(args.save)
         print(f"full result       : {args.save}")
+    if args.export_field:
+        _export_and_report(result, args.export_field)
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    results_dir = Path(args.results_dir)
+    try:
+        result = RunResult.load(results_dir)
+    except (SpecError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not any(case.field_data is not None for case in result.cases):
+        # The saved run predates full-field outputs (or requested none):
+        # re-execute its spec with field outputs enabled.  The manifest holds
+        # the complete spec, so the re-run reproduces the same cases.
+        archived_hash = result.spec_hash
+        spec = result.spec
+        if spec.output is None:
+            spec = dataclasses.replace(spec, output=OutputSpec())
+        print(
+            "saved results carry no full fields; re-solving the archived spec "
+            f"{spec.name!r} with field outputs enabled"
+        )
+        result = run_simulation_spec(spec, rom_cache=args.rom_cache, jobs=args.jobs)
+        # The output section only adds post-processing — the solve is the
+        # archived one — so the exports stay stamped with the archive's hash
+        # and remain joinable to its manifest.
+        result.spec_hash = archived_hash
+    formats = tuple(args.formats) if args.formats else None
+    out_dir = Path(args.output) if args.output else results_dir / "fields"
+    _export_and_report(result, out_dir, formats=formats)
     return 0
 
 
@@ -417,6 +534,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_spec(args)
     if args.command == "run":
         return _command_run(args)
+    if args.command == "export":
+        return _command_export(args)
     if args.command in _TABLE_COMMANDS:
         return _command_table(args.command, preset=args.preset, jobs=args.jobs)
     parser.error(f"unknown command {args.command!r}")

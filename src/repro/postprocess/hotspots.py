@@ -1,0 +1,218 @@
+"""Hotspot analytics over a reconstructed :class:`ArrayField`.
+
+Downstream consumers of array-scale stress fields (keep-out-zone generation,
+structural-aware placement, reliability screening) do not want raw grids —
+they want *where it hurts*: the peak von Mises stress of every TSV, its 3-D
+location, and how far from each TSV axis the stress stays above a threshold
+(the keep-out radius).  :func:`analyze_hotspots` computes exactly that from
+an :class:`~repro.postprocess.fields.ArrayField` and renders the array-level
+top-K table with :class:`~repro.analysis.reporting.ResultTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.analysis.reporting import ResultTable
+from repro.postprocess.fields import ArrayField
+from repro.utils.validation import ValidationError, check_positive_int
+
+
+@dataclass(frozen=True)
+class TSVHotspot:
+    """Stress summary of one TSV block.
+
+    Attributes
+    ----------
+    row, col:
+        Block indices inside the sampled region.
+    peak_von_mises:
+        Largest sampled von Mises stress of the block (MPa).
+    location:
+        Global ``(x, y, z)`` coordinates of that peak (um).
+    keep_out_radius:
+        Largest in-plane distance from the TSV axis at which the von Mises
+        stress still reaches the report threshold (um); ``0`` if the block
+        never exceeds it.
+    """
+
+    row: int
+    col: int
+    peak_von_mises: float
+    location: tuple[float, float, float]
+    keep_out_radius: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "row": self.row,
+            "col": self.col,
+            "peak_von_mises": self.peak_von_mises,
+            "location": list(self.location),
+            "keep_out_radius": self.keep_out_radius,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TSVHotspot":
+        return cls(
+            row=int(data["row"]),
+            col=int(data["col"]),
+            peak_von_mises=float(data["peak_von_mises"]),
+            location=tuple(float(v) for v in data["location"]),
+            keep_out_radius=float(data["keep_out_radius"]),
+        )
+
+
+@dataclass
+class HotspotReport:
+    """Per-TSV hotspot records of one field, sorted by decreasing peak stress."""
+
+    threshold: float
+    pitch: float
+    hotspots: tuple[TSVHotspot, ...]
+
+    def __post_init__(self) -> None:
+        self.hotspots = tuple(
+            sorted(
+                self.hotspots,
+                key=lambda spot: (-spot.peak_von_mises, spot.row, spot.col),
+            )
+        )
+
+    @property
+    def num_tsvs(self) -> int:
+        """Number of TSV blocks analysed."""
+        return len(self.hotspots)
+
+    @property
+    def peak_von_mises(self) -> float:
+        """Array-level peak von Mises stress (MPa)."""
+        if not self.hotspots:
+            raise ValidationError("the report contains no TSV blocks")
+        return self.hotspots[0].peak_von_mises
+
+    def top(self, k: int = 10) -> tuple[TSVHotspot, ...]:
+        """The ``k`` most stressed TSVs."""
+        check_positive_int("k", k)
+        return self.hotspots[:k]
+
+    def table(self, k: int = 10) -> ResultTable:
+        """Array-level top-K hotspot table."""
+        table = ResultTable(
+            columns=["rank", "block", "peak vM [MPa]", "location (x, y, z) [um]", "keep-out [um]"],
+            title=(
+                f"Top {min(k, self.num_tsvs)} of {self.num_tsvs} TSVs "
+                f"(threshold {self.threshold:.1f} MPa)"
+            ),
+        )
+        for rank, spot in enumerate(self.top(k), start=1):
+            x, y, z = spot.location
+            table.add_row(
+                **{
+                    "rank": rank,
+                    "block": f"({spot.row}, {spot.col})",
+                    "peak vM [MPa]": f"{spot.peak_von_mises:.1f}",
+                    "location (x, y, z) [um]": f"({x:.2f}, {y:.2f}, {z:.2f})",
+                    "keep-out [um]": f"{spot.keep_out_radius:.2f}",
+                }
+            )
+        return table
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation (for run manifests)."""
+        return {
+            "threshold": self.threshold,
+            "pitch": self.pitch,
+            "hotspots": [spot.to_dict() for spot in self.hotspots],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HotspotReport":
+        return cls(
+            threshold=float(data["threshold"]),
+            pitch=float(data["pitch"]),
+            hotspots=tuple(TSVHotspot.from_dict(item) for item in data["hotspots"]),
+        )
+
+
+def analyze_hotspots(
+    field: ArrayField,
+    threshold: float | None = None,
+    threshold_fraction: float = 0.8,
+) -> HotspotReport:
+    """Per-TSV peak stress, peak location and keep-out radius of a field.
+
+    Parameters
+    ----------
+    field:
+        The reconstructed array field.
+    threshold:
+        Absolute von Mises threshold (MPa) defining the keep-out zone.
+        Defaults to ``threshold_fraction`` of the array-level peak over TSV
+        blocks, so the report adapts to the thermal load automatically.
+    threshold_fraction:
+        Fraction of the peak used when ``threshold`` is ``None``.
+
+    Returns
+    -------
+    HotspotReport
+        One record per TSV block, sorted by decreasing peak stress.
+    """
+    if not (0.0 < threshold_fraction <= 1.0):
+        raise ValidationError(
+            f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
+        )
+    tsv_blocks = [
+        (row, col)
+        for row in range(field.block_rows)
+        for col in range(field.block_cols)
+        if field.tsv_mask[row, col]
+    ]
+    if not tsv_blocks:
+        raise ValidationError("the field contains no TSV blocks to analyse")
+
+    if threshold is None:
+        peak = max(
+            float(field.block_values(field.von_mises, row, col).max())
+            for row, col in tsv_blocks
+        )
+        threshold = threshold_fraction * peak
+    threshold = float(threshold)
+    if threshold < 0.0:
+        raise ValidationError(f"threshold must be non-negative, got {threshold}")
+
+    p, q = field.points_per_block, field.z_planes
+    hotspots = []
+    for row, col in tsv_blocks:
+        block_vm = field.block_values(field.von_mises, row, col)  # (p, p, q)
+        flat_index = int(np.argmax(block_vm))
+        ix, iy, iz = np.unravel_index(flat_index, (p, p, q))
+        location = (
+            float(field.x[col * p + ix]),
+            float(field.y[row * p + iy]),
+            float(field.z[iz]),
+        )
+        center_x, center_y = field.block_center(row, col)
+        over = block_vm >= threshold
+        if over.any():
+            ox, oy, _ = np.nonzero(over)
+            dx = field.x[col * p + ox] - center_x
+            dy = field.y[row * p + oy] - center_y
+            keep_out = float(np.sqrt(dx * dx + dy * dy).max())
+        else:
+            keep_out = 0.0
+        hotspots.append(
+            TSVHotspot(
+                row=row,
+                col=col,
+                peak_von_mises=float(block_vm.max()),
+                location=location,
+                keep_out_radius=keep_out,
+            )
+        )
+    return HotspotReport(threshold=threshold, pitch=field.pitch, hotspots=tuple(hotspots))
+
+
+__all__ = ["TSVHotspot", "HotspotReport", "analyze_hotspots"]

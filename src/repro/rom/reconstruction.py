@@ -26,6 +26,44 @@ from repro.rom.rom_model import ReducedOrderModel
 from repro.utils.validation import ValidationError
 
 
+def cell_centred_offsets(extent: float, count: int) -> np.ndarray:
+    """``count`` cell-centred sample offsets over ``[0, extent]``.
+
+    The single source of the sampling-grid geometry: block samplers, the
+    mid-plane reference grid and the array-field coordinate axes must all
+    agree on it, or exported coordinates would drift from the positions the
+    samplers actually evaluated.
+    """
+    return (np.arange(count) + 0.5) / count * extent
+
+
+def block_volume_points(
+    rom: ReducedOrderModel, points_per_block: int, z_planes: int
+) -> np.ndarray:
+    """Cell-centred volumetric sample grid of one block, block-local coordinates.
+
+    The grid has ``points_per_block`` cell-centred points per in-plane axis
+    (the same in-plane positions as :func:`block_midplane_points`) and
+    ``z_planes`` cell-centred planes through the TSV height.  Points iterate
+    x-index major, then y, then z, so ``values.reshape(p, p, q)`` recovers the
+    ``(ix, iy, iz)`` grid.  With an odd ``z_planes`` the middle plane sits
+    exactly at half the TSV height, so the mid-plane slice of a volumetric
+    sample reproduces the mid-plane sample bit for bit.
+    """
+    if points_per_block < 1:
+        raise ValidationError(
+            f"points_per_block must be >= 1, got {points_per_block}"
+        )
+    if z_planes < 1:
+        raise ValidationError(f"z_planes must be >= 1, got {z_planes}")
+    pitch = rom.block.tsv.pitch
+    height = rom.block.tsv.height
+    local = cell_centred_offsets(pitch, points_per_block)
+    local_z = cell_centred_offsets(height, z_planes)
+    grid_x, grid_y, grid_z = np.meshgrid(local, local, local_z, indexing="ij")
+    return np.column_stack([grid_x.ravel(), grid_y.ravel(), grid_z.ravel()])
+
+
 def block_midplane_points(rom: ReducedOrderModel, points_per_block: int) -> np.ndarray:
     """Cell-centred mid-plane sample grid of one block, in block-local coordinates.
 
@@ -35,7 +73,7 @@ def block_midplane_points(rom: ReducedOrderModel, points_per_block: int) -> np.n
     """
     pitch = rom.block.tsv.pitch
     height = rom.block.tsv.height
-    local = (np.arange(points_per_block) + 0.5) / points_per_block * pitch
+    local = cell_centred_offsets(pitch, points_per_block)
     grid_x, grid_y = np.meshgrid(local, local, indexing="ij")
     return np.column_stack(
         [grid_x.ravel(), grid_y.ravel(), np.full(grid_x.size, 0.5 * height)]
@@ -84,7 +122,24 @@ class BlockFieldSampler:
     def displacement(self, nodal_displacement: np.ndarray, delta_t: float) -> np.ndarray:
         """Displacement vectors at the sample points, shape ``(p, 3)``."""
         u_fine = self.rom.reconstruct_displacement(nodal_displacement, delta_t)
-        u_elements = u_fine[self._element_dofs].reshape(self.points.shape[0], 8, 3)
+        return self.displacement_from_fine(u_fine)
+
+    def displacement_from_fine(self, fine_displacement: np.ndarray) -> np.ndarray:
+        """Displacement at the sample points from a fine-mesh displacement vector.
+
+        Sharing one reconstructed fine vector between :meth:`displacement_from_fine`
+        and :meth:`stress_from_fine` halves the reconstruction cost when both
+        fields are sampled (the full-field export path).
+        """
+        fine_displacement = np.asarray(fine_displacement, dtype=float).ravel()
+        if fine_displacement.size != self.rom.mesh.num_dofs:
+            raise ValidationError(
+                f"fine displacement has {fine_displacement.size} entries, "
+                f"expected {self.rom.mesh.num_dofs}"
+            )
+        u_elements = fine_displacement[self._element_dofs].reshape(
+            self.points.shape[0], 8, 3
+        )
         return np.einsum("pa,pac->pc", self._shape_values, u_elements)
 
     def stress(self, nodal_displacement: np.ndarray, delta_t: float) -> np.ndarray:
@@ -133,4 +188,9 @@ class BlockFieldSampler:
         return von_mises(self.stress(nodal_displacement, delta_t))
 
 
-__all__ = ["BlockFieldSampler", "block_midplane_points"]
+__all__ = [
+    "BlockFieldSampler",
+    "block_midplane_points",
+    "block_volume_points",
+    "cell_centred_offsets",
+]

@@ -160,6 +160,28 @@ class ReducedOrderModel:
             + float(delta_t) * self.thermal_basis()
         )
 
+    def field_sampler(
+        self,
+        materials: MaterialLibrary,
+        points: np.ndarray | None = None,
+        points_per_block: int = 30,
+        z_planes: int = 1,
+    ):
+        """Precomputed field sampler on this ROM's fine mesh.
+
+        With explicit ``points`` (block-local, shape ``(p, 3)``) the sampler
+        evaluates exactly there; otherwise a cell-centred volumetric grid of
+        ``points_per_block`` x ``points_per_block`` x ``z_planes`` points is
+        used (``z_planes=1`` degenerates to the mid-plane grid of the paper's
+        error metric).  Returns a
+        :class:`~repro.rom.reconstruction.BlockFieldSampler`.
+        """
+        from repro.rom.reconstruction import BlockFieldSampler, block_volume_points
+
+        if points is None:
+            points = block_volume_points(self, points_per_block, z_planes)
+        return BlockFieldSampler(self, materials, points)
+
     def element_rhs(self, delta_t: float) -> np.ndarray:
         """Abstract element right-hand side for a thermal load ``delta_t``.
 

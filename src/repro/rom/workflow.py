@@ -69,6 +69,27 @@ class SimulationResult:
         """Flattened mid-plane von Mises stress (reference-sampler ordering)."""
         return self.solution.von_mises_midplane_flat(points_per_block)
 
+    def array_field(
+        self,
+        points_per_block: int = 30,
+        z_planes: int = 5,
+        jobs: int | None = None,
+    ):
+        """Full volumetric displacement/stress field over the TSV region.
+
+        Streamed block-by-block reconstruction (see
+        :func:`repro.postprocess.reconstruct_array_field`); peak memory is the
+        output grid plus one block's fine field, regardless of array size.
+        """
+        from repro.postprocess.fields import reconstruct_array_field
+
+        return reconstruct_array_field(
+            self.solution,
+            points_per_block=points_per_block,
+            z_planes=z_planes,
+            jobs=jobs,
+        )
+
     @property
     def num_global_dofs(self) -> int:
         """Number of reduced DoFs solved in the global stage."""

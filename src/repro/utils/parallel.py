@@ -27,14 +27,31 @@ _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
 
 
+def available_cpus() -> int:
+    """Number of CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the machine's CPUs, which oversubscribes the
+    pool inside cgroup/affinity-limited containers (CI runners, schedulers);
+    ``os.sched_getaffinity(0)`` reports the CPUs this process may run on and
+    is preferred wherever the platform provides it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
     """Normalize a ``--jobs``-style worker count.
 
-    ``None`` resolves to ``os.cpu_count()`` (at least 1); explicit values
-    must be positive integers.
+    ``None`` resolves to the CPUs available to this process (affinity-aware,
+    at least 1); explicit values must be positive integers.
     """
     if jobs is None:
-        return max(1, os.cpu_count() or 1)
+        return available_cpus()
     jobs = int(jobs)
     if jobs < 1:
         raise ValidationError(f"jobs must be >= 1 (or None for one per CPU), got {jobs}")
@@ -85,4 +102,4 @@ def parallel_map(
         return list(pool.map(fn, work))
 
 
-__all__ = ["resolve_jobs", "parallel_map"]
+__all__ = ["available_cpus", "resolve_jobs", "parallel_map"]

@@ -54,15 +54,52 @@ class TestOtherMetrics:
         np.testing.assert_allclose(emap, 0.1)
 
 
+class TestNonFiniteRejection:
+    """NaN/Inf used to flow silently through every metric; now they fail loudly."""
+
+    @pytest.mark.parametrize("metric", [normalized_mae, relative_max_error, error_map])
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_prediction_rejected(self, metric, bad):
+        reference = np.array([1.0, 2.0, 3.0])
+        predicted = np.array([1.0, bad, 3.0])
+        with pytest.raises(ValidationError, match="prediction"):
+            metric(predicted, reference)
+
+    @pytest.mark.parametrize("metric", [normalized_mae, relative_max_error, error_map])
+    def test_non_finite_reference_rejected(self, metric):
+        reference = np.array([1.0, np.nan, 3.0])
+        predicted = np.array([1.0, 2.0, 3.0])
+        with pytest.raises(ValidationError, match="reference"):
+            metric(predicted, reference)
+
+    def test_finite_fields_unaffected(self):
+        reference = np.array([1.0, 2.0, 4.0])
+        predicted = np.array([1.0, 2.5, 4.0])
+        assert normalized_mae(predicted, reference) == pytest.approx(0.5 / 12.0)
+
+
 class TestFormatting:
     def test_format_seconds(self):
         assert format_seconds(0.0421).endswith("ms")
         assert format_seconds(12.3) == "12.30 s"
 
+    def test_format_seconds_minutes_and_hours(self):
+        # Paper Table 2 reference runs land in minute/hour territory; they
+        # used to print as e.g. "5400.00 s".
+        assert format_seconds(90.0) == "1.5 min"
+        assert format_seconds(59.99) == "59.99 s"
+        assert format_seconds(3599.0) == "60.0 min"
+        assert format_seconds(5400.0) == "1.50 h"
+        assert format_seconds(36000.0) == "10.00 h"
+
     def test_format_bytes(self):
         assert format_bytes(512) == "512.00 B"
         assert format_bytes(2048) == "2.00 KiB"
         assert format_bytes(3 * 2**30) == "3.00 GiB"
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            format_bytes(-5)
 
 
 class TestResultTable:

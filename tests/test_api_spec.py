@@ -17,6 +17,7 @@ from repro.api import (
     MaterialOverride,
     MaterialsSpec,
     MeshSpec,
+    OutputSpec,
     SCHEMA_VERSION,
     SimulationSpec,
     SolverSpec,
@@ -74,18 +75,35 @@ def submodel_spec() -> SimulationSpec:
     )
 
 
+def output_spec() -> SimulationSpec:
+    return SimulationSpec(
+        name="with-output",
+        geometry=GeometrySpec(pitch=15.0, rows=2),
+        mesh=MeshSpec(resolution="tiny", nodes_per_axis=(3, 3, 3), points_per_block=5),
+        load_cases=(LoadCase(name="cooldown", delta_t=-250.0),),
+        output=OutputSpec(
+            formats=("npz",),
+            points_per_block=4,
+            z_planes=3,
+            hotspots=True,
+            hotspot_threshold_fraction=0.6,
+            top_k=3,
+        ),
+    )
+
+
 class TestRoundTrip:
-    @pytest.mark.parametrize("factory", [array_spec, sweep_spec, submodel_spec])
+    @pytest.mark.parametrize("factory", [array_spec, sweep_spec, submodel_spec, output_spec])
     def test_json_round_trip_is_lossless(self, factory):
         spec = factory()
         assert SimulationSpec.from_json(spec.to_json()) == spec
 
-    @pytest.mark.parametrize("factory", [array_spec, sweep_spec, submodel_spec])
+    @pytest.mark.parametrize("factory", [array_spec, sweep_spec, submodel_spec, output_spec])
     def test_dict_round_trip_is_lossless(self, factory):
         spec = factory()
         assert SimulationSpec.from_dict(spec.to_dict()) == spec
 
-    @pytest.mark.parametrize("factory", [array_spec, sweep_spec, submodel_spec])
+    @pytest.mark.parametrize("factory", [array_spec, sweep_spec, submodel_spec, output_spec])
     def test_spec_hash_stable_across_round_trip(self, factory):
         spec = factory()
         assert SimulationSpec.from_json(spec.to_json()).spec_hash() == spec.spec_hash()
@@ -282,3 +300,51 @@ class TestBuildHelpers:
         assert spec.to_json() == spec.to_json()
         parsed = json.loads(spec.to_json())
         assert parsed["name"] == "sweep"
+
+
+class TestOutputSpec:
+    def test_defaults(self):
+        output = OutputSpec()
+        assert output.formats == ("vtk", "npz")
+        assert output.z_planes % 2 == 1
+        assert output.hotspots is True
+
+    def test_points_per_block_defaults_to_mesh(self):
+        spec = output_spec()
+        assert spec.output.resolved_points_per_block(spec.mesh) == 4
+        assert OutputSpec().resolved_points_per_block(spec.mesh) == 5
+
+    def test_documents_without_output_parse(self):
+        # Pre-output documents (and terse ones) must keep parsing: the field
+        # is optional and defaults to null.
+        spec = SimulationSpec.from_dict({"geometry": {"rows": 2}})
+        assert spec.output is None
+        assert spec.to_dict()["output"] is None
+
+    @pytest.mark.parametrize(
+        "document, field",
+        [
+            ({"output": {"formats": []}}, "formats"),
+            ({"output": {"formats": ["stl"]}}, "formats"),
+            ({"output": {"formats": ["vtk", "vtk"]}}, "vtk"),
+            ({"output": {"formats": "vtk"}}, "output.formats"),
+            ({"output": {"z_planes": 4}}, "z_planes"),
+            ({"output": {"z_planes": 0}}, "z_planes"),
+            ({"output": {"points_per_block": 1}}, "points_per_block"),
+            ({"output": {"hotspot_threshold_fraction": 1.5}}, "hotspot_threshold_fraction"),
+            ({"output": {"top_k": 0}}, "top_k"),
+            ({"output": {"hotspots": "yes"}}, "output.hotspots"),
+            ({"output": {"paraview": True}}, "output.paraview"),
+        ],
+    )
+    def test_bad_output_documents_name_the_field(self, document, field):
+        with pytest.raises(SpecError, match=field):
+            SimulationSpec.from_dict(document)
+
+    def test_even_z_planes_rejected_eagerly(self):
+        with pytest.raises(ValidationError, match="odd"):
+            OutputSpec(z_planes=2)
+
+    def test_output_must_be_output_spec(self):
+        with pytest.raises(ValidationError, match="OutputSpec"):
+            SimulationSpec(output="vtk")

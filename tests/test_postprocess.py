@@ -1,0 +1,379 @@
+"""Tests for the full-field post-processing subsystem (repro.postprocess)."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.fem.fields import von_mises
+from repro.geometry.array_layout import BlockKind
+from repro.geometry.tsv import TSVGeometry
+from repro.postprocess import (
+    ArrayField,
+    HotspotReport,
+    TSVHotspot,
+    analyze_hotspots,
+    read_vtk_rectilinear,
+    reconstruct_array_field,
+    write_vtk_rectilinear,
+)
+from repro.rom.reconstruction import BlockFieldSampler, block_volume_points
+from repro.rom.workflow import MoreStressSimulator
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def solution_2x2(rom_result_2x2):
+    return rom_result_2x2.solution
+
+
+@pytest.fixture(scope="module")
+def field_2x2(solution_2x2):
+    return reconstruct_array_field(solution_2x2, points_per_block=5, z_planes=3, jobs=1)
+
+
+class TestReconstruction:
+    def test_shapes_and_metadata(self, field_2x2):
+        assert field_2x2.shape == (10, 10, 3)
+        assert field_2x2.displacement.shape == (10, 10, 3, 3)
+        assert field_2x2.stress.shape == (10, 10, 3, 6)
+        assert field_2x2.block_rows == field_2x2.block_cols == 2
+        assert field_2x2.tsv_mask.all()
+        assert field_2x2.delta_t == -250.0
+        assert np.isfinite(field_2x2.von_mises).all()
+        assert np.isfinite(field_2x2.displacement).all()
+        assert np.isfinite(field_2x2.stress).all()
+
+    def test_midplane_bit_identical_to_reference_sampler(self, solution_2x2, field_2x2):
+        reference = solution_2x2.von_mises_midplane_flat(5)
+        np.testing.assert_array_equal(field_2x2.midplane_von_mises_flat(), reference)
+        blocks = field_2x2.midplane_von_mises_blocks()
+        np.testing.assert_array_equal(blocks, solution_2x2.von_mises_midplane(5))
+
+    def test_parallel_reconstruction_bit_identical(self, solution_2x2, field_2x2):
+        parallel = reconstruct_array_field(
+            solution_2x2, points_per_block=5, z_planes=3, jobs=4
+        )
+        np.testing.assert_array_equal(parallel.von_mises, field_2x2.von_mises)
+        np.testing.assert_array_equal(parallel.displacement, field_2x2.displacement)
+        np.testing.assert_array_equal(parallel.stress, field_2x2.stress)
+
+    def test_blocks_match_direct_sampler(self, solution_2x2, field_2x2):
+        # Independent path: evaluate one block with a hand-built sampler.
+        kind = solution_2x2.layout.kind_at(1, 0)
+        rom = solution_2x2.roms[kind]
+        sampler = BlockFieldSampler(
+            rom, solution_2x2.materials, block_volume_points(rom, 5, 3)
+        )
+        u_fine = rom.reconstruct_displacement(
+            solution_2x2.block_reduced_displacement(1, 0), solution_2x2.delta_t
+        )
+        expected_stress = sampler.stress_from_fine(u_fine, solution_2x2.delta_t)
+        expected_vm = von_mises(expected_stress)
+        np.testing.assert_array_equal(
+            field_2x2.block_values(field_2x2.von_mises, 1, 0).reshape(-1),
+            expected_vm,
+        )
+        np.testing.assert_array_equal(
+            field_2x2.block_values(field_2x2.stress, 1, 0).reshape(-1, 6),
+            expected_stress,
+        )
+
+    def test_coordinates_span_the_layout(self, solution_2x2, field_2x2):
+        pitch = solution_2x2.layout.tsv.pitch
+        height = solution_2x2.layout.tsv.height
+        assert field_2x2.x[0] == pytest.approx(0.5 / 5 * pitch)
+        assert field_2x2.x[-1] == pytest.approx(2 * pitch - 0.5 / 5 * pitch)
+        assert field_2x2.z[1] == pytest.approx(0.5 * height)
+        # Strictly increasing grids (a rectilinear-grid requirement).
+        assert np.all(np.diff(field_2x2.x) > 0)
+        assert np.all(np.diff(field_2x2.y) > 0)
+        assert np.all(np.diff(field_2x2.z) > 0)
+
+    def test_single_plane_reconstruction(self, solution_2x2):
+        field = reconstruct_array_field(solution_2x2, points_per_block=4, z_planes=1)
+        assert field.shape == (8, 8, 1)
+        np.testing.assert_array_equal(
+            field.midplane_von_mises_flat(), solution_2x2.von_mises_midplane_flat(4)
+        )
+
+    def test_invalid_counts_rejected(self, solution_2x2):
+        with pytest.raises(ValidationError):
+            reconstruct_array_field(solution_2x2, points_per_block=0)
+        with pytest.raises(ValidationError):
+            reconstruct_array_field(solution_2x2, z_planes=0)
+
+
+class TestArrayFieldValidation:
+    def test_even_z_planes_have_no_midplane(self, field_2x2):
+        even = ArrayField(
+            x=field_2x2.x,
+            y=field_2x2.y,
+            z=field_2x2.z[:2],
+            displacement=field_2x2.displacement[:, :, :2],
+            stress=field_2x2.stress[:, :, :2],
+            von_mises=field_2x2.von_mises[:, :, :2],
+            tsv_mask=field_2x2.tsv_mask,
+            delta_t=field_2x2.delta_t,
+            points_per_block=field_2x2.points_per_block,
+            pitch=field_2x2.pitch,
+        )
+        with pytest.raises(ValidationError, match="odd"):
+            even.midplane_index
+
+    def test_shape_mismatches_rejected(self, field_2x2):
+        with pytest.raises(ValidationError, match="von_mises"):
+            ArrayField(
+                x=field_2x2.x,
+                y=field_2x2.y,
+                z=field_2x2.z,
+                displacement=field_2x2.displacement,
+                stress=field_2x2.stress,
+                von_mises=field_2x2.von_mises[:-1],
+                tsv_mask=field_2x2.tsv_mask,
+                delta_t=-250.0,
+                points_per_block=5,
+                pitch=field_2x2.pitch,
+            )
+        with pytest.raises(ValidationError, match="x has"):
+            ArrayField(
+                x=field_2x2.x[:-1],
+                y=field_2x2.y,
+                z=field_2x2.z,
+                displacement=field_2x2.displacement,
+                stress=field_2x2.stress,
+                von_mises=field_2x2.von_mises,
+                tsv_mask=field_2x2.tsv_mask,
+                delta_t=-250.0,
+                points_per_block=5,
+                pitch=field_2x2.pitch,
+            )
+
+
+class TestNpzPersistence:
+    def test_round_trip_is_lossless(self, field_2x2, tmp_path):
+        path = field_2x2.save(tmp_path / "field")
+        assert path.suffix == ".npz"
+        reloaded = ArrayField.load(path)
+        np.testing.assert_array_equal(reloaded.x, field_2x2.x)
+        np.testing.assert_array_equal(reloaded.von_mises, field_2x2.von_mises)
+        np.testing.assert_array_equal(reloaded.displacement, field_2x2.displacement)
+        np.testing.assert_array_equal(reloaded.stress, field_2x2.stress)
+        np.testing.assert_array_equal(reloaded.tsv_mask, field_2x2.tsv_mask)
+        assert reloaded.delta_t == field_2x2.delta_t
+        assert reloaded.points_per_block == field_2x2.points_per_block
+        assert reloaded.pitch == field_2x2.pitch
+        assert reloaded.summary() == field_2x2.summary()
+
+    def test_version_mismatch_rejected(self, field_2x2, tmp_path, monkeypatch):
+        import repro.postprocess.fields as fields_module
+
+        monkeypatch.setattr(fields_module, "FIELD_SCHEMA_VERSION", 99)
+        path = field_2x2.save(tmp_path / "future")
+        monkeypatch.undo()
+        with pytest.raises(ValidationError, match="version"):
+            ArrayField.load(path)
+
+
+class TestVTK:
+    def test_round_trip_is_lossless(self, field_2x2, tmp_path):
+        path = write_vtk_rectilinear(tmp_path / "field.vtk", field_2x2)
+        parsed = read_vtk_rectilinear(path)
+        assert parsed["dimensions"] == field_2x2.shape
+        x, y, z = parsed["coordinates"]
+        np.testing.assert_array_equal(x, field_2x2.x)
+        np.testing.assert_array_equal(y, field_2x2.y)
+        np.testing.assert_array_equal(z, field_2x2.z)
+        np.testing.assert_array_equal(
+            parsed["point_data"]["von_mises"], field_2x2.von_mises
+        )
+        np.testing.assert_array_equal(
+            parsed["point_data"]["displacement"], field_2x2.displacement
+        )
+        for index, component in enumerate(("xx", "yy", "zz", "yz", "xz", "xy")):
+            np.testing.assert_array_equal(
+                parsed["point_data"][f"stress_{component}"],
+                field_2x2.stress[..., index],
+            )
+
+    def test_vtk_point_order_is_x_fastest(self, field_2x2, tmp_path):
+        # The VTK convention: x varies fastest.  The first two data values of
+        # the von_mises scalar are (x0, y0, z0) and (x1, y0, z0).
+        path = write_vtk_rectilinear(tmp_path / "order.vtk", field_2x2)
+        lines = path.read_text().splitlines()
+        start = lines.index("LOOKUP_TABLE default") + 1
+        first, second = float(lines[start]), float(lines[start + 1])
+        assert first == field_2x2.von_mises[0, 0, 0]
+        assert second == field_2x2.von_mises[1, 0, 0]
+
+    def test_suffix_appended(self, field_2x2, tmp_path):
+        path = write_vtk_rectilinear(tmp_path / "no_suffix", field_2x2)
+        assert path.name == "no_suffix.vtk"
+
+    def test_reader_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.vtk"
+        bad.write_text("not a vtk file\n")
+        with pytest.raises(ValidationError):
+            read_vtk_rectilinear(bad)
+
+
+def _synthetic_field() -> ArrayField:
+    """A 2x2-block field with a controlled von Mises distribution."""
+    p, q, pitch, height = 4, 3, 10.0, 50.0
+    nx = ny = 2 * p
+    # cell-centred positions: block c spans [c*pitch, (c+1)*pitch)
+    x = np.concatenate([(np.arange(p) + 0.5) / p * pitch + c * pitch for c in range(2)])
+    y = x.copy()
+    z = (np.arange(q) + 0.5) / q * height
+    vm = np.zeros((nx, ny, q))
+    # Block (0, 0): peak 100 at its centre-most point, on the mid plane.
+    vm[1, 1, 1] = 100.0
+    # Block (row 0, col 1): peak 80 at a corner point of the block, top plane.
+    vm[p, 0, 2] = 80.0
+    # Block (row 1, col 0): everything just below any threshold.
+    vm[0:p, p : 2 * p, :] = 10.0
+    # Block (1, 1) is a dummy: huge value that must be ignored.
+    vm[p : 2 * p, p : 2 * p, :] = 500.0
+    tsv_mask = np.array([[True, True], [True, False]])
+    shape = (nx, ny, q)
+    return ArrayField(
+        x=x,
+        y=y,
+        z=z,
+        displacement=np.zeros(shape + (3,)),
+        stress=np.zeros(shape + (6,)),
+        von_mises=vm,
+        tsv_mask=tsv_mask,
+        delta_t=-250.0,
+        points_per_block=p,
+        pitch=pitch,
+    )
+
+
+class TestHotspots:
+    def test_peaks_locations_and_ordering(self):
+        field = _synthetic_field()
+        report = analyze_hotspots(field, threshold=50.0)
+        assert report.num_tsvs == 3
+        peaks = [(spot.row, spot.col, spot.peak_von_mises) for spot in report.hotspots]
+        assert peaks == [(0, 0, 100.0), (0, 1, 80.0), (1, 0, 10.0)]
+        top = report.hotspots[0]
+        assert top.location == (float(field.x[1]), float(field.y[1]), float(field.z[1]))
+        second = report.hotspots[1]
+        assert second.location == (
+            float(field.x[4]),
+            float(field.y[0]),
+            float(field.z[2]),
+        )
+
+    def test_dummy_blocks_excluded(self):
+        field = _synthetic_field()
+        report = analyze_hotspots(field, threshold=50.0)
+        assert report.peak_von_mises == 100.0  # not the dummy block's 500
+
+    def test_keep_out_radii(self):
+        field = _synthetic_field()
+        report = analyze_hotspots(field, threshold=50.0)
+        by_block = {(spot.row, spot.col): spot for spot in report.hotspots}
+        # Block (0, 0): the single point over threshold sits at (x[1], y[1]);
+        # centre is (5, 5).
+        dx = field.x[1] - 5.0
+        assert by_block[(0, 0)].keep_out_radius == pytest.approx(
+            np.hypot(dx, dx)
+        )
+        # Block (1, 0) never exceeds the threshold.
+        assert by_block[(1, 0)].keep_out_radius == 0.0
+
+    def test_default_threshold_is_fraction_of_tsv_peak(self):
+        field = _synthetic_field()
+        report = analyze_hotspots(field, threshold_fraction=0.5)
+        assert report.threshold == pytest.approx(50.0)  # 0.5 * 100, dummy ignored
+
+    def test_report_round_trip_and_table(self):
+        field = _synthetic_field()
+        report = analyze_hotspots(field, threshold=50.0)
+        restored = HotspotReport.from_dict(report.to_dict())
+        assert restored.hotspots == report.hotspots
+        assert restored.threshold == report.threshold
+        text = report.table(2).to_text()
+        assert "100.0" in text and "80.0" in text
+        assert "10.0" not in text  # beyond top-2
+        assert len(report.table(2)) == 2
+
+    def test_top_k_clamps_to_population(self):
+        report = analyze_hotspots(_synthetic_field(), threshold=50.0)
+        assert len(report.top(50)) == 3
+
+    def test_no_tsv_blocks_rejected(self):
+        field = _synthetic_field()
+        field.tsv_mask = np.zeros_like(field.tsv_mask)
+        with pytest.raises(ValidationError, match="no TSV"):
+            analyze_hotspots(field)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            analyze_hotspots(_synthetic_field(), threshold_fraction=0.0)
+        with pytest.raises(ValidationError):
+            analyze_hotspots(_synthetic_field(), threshold_fraction=1.5)
+
+    def test_sorting_is_deterministic_on_ties(self):
+        spots = tuple(
+            TSVHotspot(row=r, col=c, peak_von_mises=1.0, location=(0, 0, 0), keep_out_radius=0.0)
+            for r, c in [(1, 1), (0, 1), (0, 0)]
+        )
+        report = HotspotReport(threshold=0.5, pitch=10.0, hotspots=spots)
+        assert [(s.row, s.col) for s in report.hotspots] == [(0, 0), (0, 1), (1, 1)]
+
+
+class TestMemoryBoundedLargeArray:
+    """Acceptance: a >= 20x20 array reconstructs with O(one block) extra memory."""
+
+    @pytest.fixture(scope="class")
+    def large_result(self):
+        simulator = MoreStressSimulator(
+            TSVGeometry.paper_default(pitch=15.0),
+            mesh_resolution="coarse",
+            nodes_per_axis=(2, 2, 2),
+        )
+        return simulator, simulator.simulate_array(rows=20, delta_t=-250.0)
+
+    def test_peak_memory_bounded_by_one_block(self, large_result):
+        simulator, result = large_result
+        layout = result.solution.layout
+        assert layout.num_blocks >= 400
+        block_bytes = 8 * result.solution.roms[BlockKind.TSV].mesh.num_dofs
+
+        tracemalloc.start()
+        try:
+            field = result.array_field(points_per_block=4, z_planes=3, jobs=1)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        output_bytes = (
+            field.displacement.nbytes + field.stress.nbytes + field.von_mises.nbytes
+        )
+        naive_bytes = layout.num_blocks * block_bytes  # all fine fields at once
+        # Streaming bound: the output grid plus a handful of block-sized
+        # buffers — far below materializing every block's fine field.
+        assert peak <= output_bytes + 64 * block_bytes
+        assert peak < naive_bytes / 2
+        assert naive_bytes > 4 * output_bytes  # the test actually discriminates
+
+    def test_midplane_of_large_field_bit_identical(self, large_result):
+        _, result = large_result
+        field = result.array_field(points_per_block=4, z_planes=3, jobs=1)
+        np.testing.assert_array_equal(
+            field.midplane_von_mises_flat(), result.von_mises_midplane_flat(4)
+        )
+
+    def test_hotspot_report_covers_every_tsv(self, large_result):
+        _, result = large_result
+        field = result.array_field(points_per_block=4, z_planes=3, jobs=1)
+        report = analyze_hotspots(field)
+        assert report.num_tsvs == 400
+        for spot in report.top(5):
+            x, y, z = spot.location
+            assert 0 <= x <= field.x[-1] and 0 <= y <= field.y[-1]
+            assert 0 <= z <= field.z[-1]
+            assert spot.peak_von_mises > 0

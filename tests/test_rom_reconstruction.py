@@ -1,0 +1,167 @@
+"""Analytic checks of :class:`BlockFieldSampler` and the volumetric grids.
+
+The uniform-strain patch test is the classical FEM correctness check: a
+linear displacement field produces an exactly constant strain, so trilinear
+elements (and therefore the sampler's stress recovery) must reproduce the
+corresponding stress *exactly* — including the thermal
+``(3*lam + 2*mu) * alpha * delta_t`` eigenstrain term of paper Eq. 1 —
+at every point, even on element boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.elasticity import material_arrays_for_mesh
+from repro.rom.reconstruction import (
+    BlockFieldSampler,
+    block_midplane_points,
+    block_volume_points,
+)
+from repro.utils.validation import ValidationError
+
+#: A generic (non-symmetric) displacement gradient and offset for the patch test.
+GRADIENT = np.array(
+    [
+        [2.0e-4, -1.0e-4, 3.0e-5],
+        [5.0e-5, -3.0e-4, 8.0e-5],
+        [-7.0e-5, 4.0e-5, 1.5e-4],
+    ]
+)
+OFFSET = np.array([0.3, -0.2, 0.1])
+DELTA_T = -175.0
+
+
+def _linear_fine_displacement(mesh) -> np.ndarray:
+    """The fine-mesh DoF vector of ``u(x) = GRADIENT @ x + OFFSET``."""
+    coords = mesh.node_coordinates()
+    return (coords @ GRADIENT.T + OFFSET).reshape(-1)
+
+
+def _expected_stress(sampler: BlockFieldSampler, delta_t: float) -> np.ndarray:
+    """Exact constant-strain stress at the sampler's points (per-point material)."""
+    mesh = sampler.rom.mesh
+    data = material_arrays_for_mesh(mesh, sampler.materials)
+    element_ids, _ = mesh.locate_points(sampler.points)
+    tag_index = data.tag_index_of_element[element_ids]
+    lam = data.lame_lambda[tag_index]
+    mu = data.lame_mu[tag_index]
+    cte = data.cte[tag_index]
+
+    strain = np.array(
+        [
+            GRADIENT[0, 0],
+            GRADIENT[1, 1],
+            GRADIENT[2, 2],
+            GRADIENT[1, 2] + GRADIENT[2, 1],
+            GRADIENT[0, 2] + GRADIENT[2, 0],
+            GRADIENT[0, 1] + GRADIENT[1, 0],
+        ]
+    )
+    trace = strain[:3].sum()
+    thermal = cte * delta_t * (3.0 * lam + 2.0 * mu)
+    expected = np.empty((sampler.points.shape[0], 6))
+    for i in range(3):
+        expected[:, i] = lam * trace + 2.0 * mu * strain[i] - thermal
+    for i in range(3, 6):
+        expected[:, i] = mu * strain[i]
+    return expected
+
+
+class TestUniformStrainPatch:
+    def test_constant_stress_recovered_exactly(self, rom_tsv_tiny, materials):
+        points = block_volume_points(rom_tsv_tiny, points_per_block=5, z_planes=3)
+        sampler = BlockFieldSampler(rom_tsv_tiny, materials, points)
+        u_fine = _linear_fine_displacement(rom_tsv_tiny.mesh)
+
+        stress = sampler.stress_from_fine(u_fine, DELTA_T)
+        expected = _expected_stress(sampler, DELTA_T)
+        np.testing.assert_allclose(stress, expected, rtol=1e-10, atol=1e-10)
+
+    def test_thermal_term_alone(self, rom_tsv_tiny, materials):
+        # Zero displacement: the stress is purely the thermal eigenstrain
+        # -(3*lam + 2*mu) * alpha * delta_t on the diagonal, zero shear.
+        points = block_midplane_points(rom_tsv_tiny, 4)
+        sampler = BlockFieldSampler(rom_tsv_tiny, materials, points)
+        u_fine = np.zeros(rom_tsv_tiny.mesh.num_dofs)
+
+        stress = sampler.stress_from_fine(u_fine, DELTA_T)
+        expected = _expected_stress(sampler, DELTA_T) - _expected_stress(sampler, 0.0)
+        np.testing.assert_allclose(stress, expected, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(stress[:, 3:], 0.0, atol=1e-15)
+
+    def test_points_on_element_boundaries(self, rom_tsv_tiny, materials):
+        # Points sitting exactly on element faces/edges/corners (mesh node
+        # coordinates) must still recover the constant stress exactly.
+        mesh = rom_tsv_tiny.mesh
+        xs, ys, zs = mesh.xs, mesh.ys, mesh.zs
+        points = np.array(
+            [
+                [xs[1], ys[2], zs[1]],          # a mesh node (corner of 8 cells)
+                [xs[2], 0.5 * (ys[1] + ys[2]), 0.5 * (zs[0] + zs[1])],  # face point
+                [0.5 * (xs[0] + xs[1]), ys[1], zs[2]],                  # edge point
+                [xs[0], ys[0], zs[0]],          # domain corner
+                [xs[-1], ys[-1], zs[-1]],       # opposite domain corner
+            ]
+        )
+        sampler = BlockFieldSampler(rom_tsv_tiny, materials, points)
+        u_fine = _linear_fine_displacement(mesh)
+
+        stress = sampler.stress_from_fine(u_fine, DELTA_T)
+        expected = _expected_stress(sampler, DELTA_T)
+        np.testing.assert_allclose(stress, expected, rtol=1e-10, atol=1e-10)
+
+    def test_displacement_from_fine_is_exact(self, rom_tsv_tiny, materials):
+        points = block_volume_points(rom_tsv_tiny, points_per_block=4, z_planes=3)
+        sampler = BlockFieldSampler(rom_tsv_tiny, materials, points)
+        u_fine = _linear_fine_displacement(rom_tsv_tiny.mesh)
+
+        sampled = sampler.displacement_from_fine(u_fine)
+        expected = points @ GRADIENT.T + OFFSET
+        np.testing.assert_allclose(sampled, expected, rtol=1e-12, atol=1e-14)
+
+    def test_displacement_from_fine_rejects_wrong_size(self, rom_tsv_tiny, materials):
+        sampler = BlockFieldSampler(
+            rom_tsv_tiny, materials, block_midplane_points(rom_tsv_tiny, 3)
+        )
+        with pytest.raises(ValidationError):
+            sampler.displacement_from_fine(np.zeros(7))
+
+
+class TestBlockVolumePoints:
+    def test_shape_and_bounds(self, rom_tsv_tiny):
+        points = block_volume_points(rom_tsv_tiny, points_per_block=6, z_planes=5)
+        assert points.shape == (6 * 6 * 5, 3)
+        pitch = rom_tsv_tiny.block.tsv.pitch
+        height = rom_tsv_tiny.block.tsv.height
+        assert points[:, :2].min() > 0 and points[:, :2].max() < pitch
+        assert points[:, 2].min() > 0 and points[:, 2].max() < height
+
+    def test_odd_z_planes_contain_midplane_grid(self, rom_tsv_tiny):
+        # The middle plane of an odd cell-centred z grid is the mid-plane
+        # sample grid (ordering included): index (ix, iy, iz) with iz fastest.
+        p, q = 4, 3
+        volume = block_volume_points(rom_tsv_tiny, p, q)
+        midplane = block_midplane_points(rom_tsv_tiny, p)
+        middle = volume.reshape(p, p, q, 3)[:, :, q // 2, :].reshape(-1, 3)
+        np.testing.assert_array_equal(middle, midplane)
+
+    def test_single_plane_equals_midplane(self, rom_tsv_tiny):
+        p = 5
+        np.testing.assert_array_equal(
+            block_volume_points(rom_tsv_tiny, p, 1),
+            block_midplane_points(rom_tsv_tiny, p),
+        )
+
+    def test_invalid_counts_rejected(self, rom_tsv_tiny):
+        with pytest.raises(ValidationError):
+            block_volume_points(rom_tsv_tiny, 0, 3)
+        with pytest.raises(ValidationError):
+            block_volume_points(rom_tsv_tiny, 4, 0)
+
+    def test_field_sampler_convenience(self, rom_tsv_tiny, materials):
+        sampler = rom_tsv_tiny.field_sampler(materials, points_per_block=3, z_planes=3)
+        assert sampler.points.shape == (27, 3)
+        explicit = rom_tsv_tiny.field_sampler(
+            materials, points=np.array([[1.0, 1.0, 1.0]])
+        )
+        assert explicit.points.shape == (1, 3)

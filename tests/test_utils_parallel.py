@@ -1,10 +1,12 @@
 """Tests for the shared worker-pool helpers."""
 
+import os
 import threading
 
 import pytest
 
-from repro.utils.parallel import parallel_map, resolve_jobs
+import repro.utils.parallel as parallel_module
+from repro.utils.parallel import available_cpus, parallel_map, resolve_jobs
 from repro.utils.validation import ValidationError
 
 
@@ -21,6 +23,45 @@ class TestResolveJobs:
             resolve_jobs(0)
         with pytest.raises(ValidationError):
             resolve_jobs(-2)
+
+
+class TestAvailableCpus:
+    """The default worker count must honour cgroup/affinity limits."""
+
+    def test_uses_sched_getaffinity_when_available(self, monkeypatch):
+        # An affinity mask smaller than the machine (the CI-container case):
+        # the pool must follow the mask, not os.cpu_count().
+        monkeypatch.setattr(
+            parallel_module.os, "sched_getaffinity", lambda pid: {0, 3}, raising=False
+        )
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 64)
+        assert available_cpus() == 2
+        assert resolve_jobs(None) == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        # Platforms without sched_getaffinity (e.g. macOS/Windows).
+        monkeypatch.delattr(parallel_module.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 5)
+        assert available_cpus() == 5
+        assert resolve_jobs(None) == 5
+
+    def test_falls_back_when_affinity_query_fails(self, monkeypatch):
+        def boom(pid):
+            raise OSError("no affinity support")
+
+        monkeypatch.setattr(parallel_module.os, "sched_getaffinity", boom, raising=False)
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 3)
+        assert available_cpus() == 3
+
+    def test_at_least_one_cpu(self, monkeypatch):
+        monkeypatch.delattr(parallel_module.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: None)
+        assert available_cpus() == 1
+
+    def test_matches_live_affinity_mask(self):
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        assert available_cpus() == len(os.sched_getaffinity(0))
 
 
 class TestParallelMap:
