@@ -1,0 +1,149 @@
+"""Emit BENCH_6.json: array-backend timings for the full spec pipeline (ISSUE 6).
+
+For every *available* array backend this script executes the same tiny
+:class:`~repro.api.SimulationSpec` through :func:`repro.api.run` four times —
+cold ROM cache vs. warm ROM cache, crossed with serial (``jobs=1``) vs.
+parallel (``jobs=2``) local stage — and records wall-clock, peak traced
+memory and process RSS (via :mod:`repro.utils.memory`) for each run.
+Unavailable optional backends (torch/cupy) are listed in the environment
+block but not timed; on a numpy-only machine the artifact still documents
+the baseline the optional backends are compared against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_array_backends.py [-o BENCH_6.json]
+
+The artifact is schema-versioned (``bench_schema_version``) so later PRs can
+extend it without breaking readers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+import scipy
+
+from repro import __version__
+from repro.api import run
+from repro.api.spec import (
+    GeometrySpec,
+    LoadCase,
+    MeshSpec,
+    SimulationSpec,
+    SolverSpec,
+)
+from repro.backend import array_backend_names, available_array_backends
+from repro.utils.memory import PeakMemoryTracker, process_rss_mb
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _spec(array_backend: str) -> SimulationSpec:
+    return SimulationSpec(
+        name=f"bench6-{array_backend}",
+        geometry=GeometrySpec(pitch=15.0, rows=2),
+        mesh=MeshSpec(resolution="tiny", nodes_per_axis=(3, 3, 3), points_per_block=10),
+        solver=SolverSpec(array_backend=array_backend),
+        load_cases=(LoadCase(name="reflow", delta_t=-250.0),),
+    )
+
+
+def _timed_run(spec: SimulationSpec, cache_dir: str, jobs: int) -> dict:
+    start = time.perf_counter()
+    with PeakMemoryTracker() as tracker:
+        result = run(spec, rom_cache=cache_dir, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    case = result.cases[0]
+    return {
+        "wall_seconds": round(elapsed, 4),
+        "global_stage_seconds": round(case.global_stage_seconds, 4),
+        "local_stage_seconds": round(case.local_stage_seconds, 4),
+        "peak_traced_mb": round(tracker.peak_bytes / 1e6, 3),
+        "process_rss_mb": round(process_rss_mb(), 3),
+        "array_backend_requested": result.array_backend_requested,
+        "array_backend_resolved": result.array_backend,
+        "peak_von_mises_mpa": round(float(case.von_mises.max()), 6),
+    }
+
+
+def bench_backend(name: str) -> list[dict]:
+    """Cold/warm cache x serial/parallel runs of one array backend."""
+    runs: list[dict] = []
+    for jobs in (1, 2):
+        with tempfile.TemporaryDirectory() as cache_dir:
+            for cache_state in ("cold", "warm"):
+                spec = _spec(name)
+                record = _timed_run(spec, cache_dir, jobs)
+                record.update(
+                    {
+                        "array_backend": name,
+                        "rom_cache": cache_state,
+                        "jobs": jobs,
+                    }
+                )
+                runs.append(record)
+                print(
+                    f"  {name:8s} cache={cache_state:4s} jobs={jobs}: "
+                    f"{record['wall_seconds']:.3f} s, "
+                    f"rss {record['process_rss_mb']:.1f} MB",
+                    file=sys.stderr,
+                )
+    return runs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_6.json"),
+        help="output JSON path (default: repo-root BENCH_6.json)",
+    )
+    args = parser.parse_args(argv)
+
+    available = available_array_backends()
+    print(f"benchmarking array backends: {', '.join(available)}", file=sys.stderr)
+    runs: list[dict] = []
+    for name in available:
+        runs.extend(bench_backend(name))
+
+    document = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "issue": 6,
+        "description": (
+            "Array-backend benchmark of the spec pipeline (repro.api.run): "
+            "2x2 array, tiny mesh, (3,3,3) nodes; cold/warm ROM cache x "
+            "serial/parallel local stage, per available array backend."
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "repro": __version__,
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "array_backends_known": list(array_backend_names()),
+            "array_backends_available": list(available),
+        },
+        "runs": runs,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,9 +21,16 @@ are thin adapters over :func:`execute_cases`).  The executor
 
 from __future__ import annotations
 
+import os
+from contextlib import nullcontext
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
+from repro.backend import (
+    ARRAY_BACKEND_ENV_VAR,
+    resolve_array_backend,
+    use_array_backend,
+)
 from repro.geometry.array_layout import TSVArrayLayout
 from repro.materials.library import MaterialLibrary
 from repro.materials.temperature import ThermalLoad
@@ -70,37 +77,46 @@ def execute_cases(
     ]
     if batched is None:
         batched = len(loads) > 1
-    include_dummy = layout.num_dummy_blocks > 0
-    roms = simulator.build_roms(include_dummy=include_dummy)
-
-    stage = GlobalStage(
-        roms=roms,
-        materials=simulator.materials,
-        solver_options=simulator.solver_options,
+    # The simulator's array backend (if any) is active for ROM construction
+    # and the global solve alike; the worker pool of the local stage is
+    # thread-based, so workers share the activation.
+    backend_context = (
+        use_array_backend(simulator.array_backend)
+        if simulator.array_backend is not None
+        else nullcontext()
     )
-    timer = Timer()
-    with PeakMemoryTracker() as tracker, timer:
-        if batched:
-            solutions = stage.solve_many(
-                layout,
-                loads,
-                boundary_condition=boundary,
-                displacement_fields=displacement_fields,
-            )
-        else:
-            displacement_field = displacement_fields
-            if isinstance(displacement_field, (list, tuple)):
-                displacement_field = (
-                    displacement_field[0] if displacement_field else None
-                )
-            solutions = [
-                stage.solve(
+    with backend_context:
+        include_dummy = layout.num_dummy_blocks > 0
+        roms = simulator.build_roms(include_dummy=include_dummy)
+
+        stage = GlobalStage(
+            roms=roms,
+            materials=simulator.materials,
+            solver_options=simulator.solver_options,
+        )
+        timer = Timer()
+        with PeakMemoryTracker() as tracker, timer:
+            if batched:
+                solutions = stage.solve_many(
                     layout,
-                    delta_t=loads[0],
+                    loads,
                     boundary_condition=boundary,
-                    displacement_field=displacement_field,
+                    displacement_fields=displacement_fields,
                 )
-            ]
+            else:
+                displacement_field = displacement_fields
+                if isinstance(displacement_field, (list, tuple)):
+                    displacement_field = (
+                        displacement_field[0] if displacement_field else None
+                    )
+                solutions = [
+                    stage.solve(
+                        layout,
+                        delta_t=loads[0],
+                        boundary_condition=boundary,
+                        displacement_field=displacement_field,
+                    )
+                ]
     return [
         SimulationResult(
             solution=solution,
@@ -124,6 +140,24 @@ def _group_cases(
     return list(groups.items())
 
 
+def _requested_array_backend(override: str | None, spec_value: str) -> str:
+    """Apply the array-backend selection precedence.
+
+    CLI/keyword override > explicit (non-default) spec value > the
+    ``REPRO_ARRAY_BACKEND`` environment variable > the spec default.  Because
+    the spec default is ``"numpy"``, an explicit ``"numpy"`` in a spec is
+    indistinguishable from the default and can be overridden by the
+    environment; forcing numpy under a conflicting environment requires the
+    override argument (the CLI flag).
+    """
+    if override:
+        return override
+    if spec_value != "numpy":
+        return spec_value
+    env_value = os.environ.get(ARRAY_BACKEND_ENV_VAR, "").strip()
+    return env_value or spec_value
+
+
 def run(
     spec: SimulationSpec,
     *,
@@ -131,6 +165,7 @@ def run(
     rom_cache: "ROMCache | str | Path | None" = None,
     jobs: int | None = None,
     coarse_solution: "CoarsePackageSolution | None" = None,
+    array_backend: str | None = None,
 ) -> RunResult:
     """Execute a :class:`SimulationSpec` and return its :class:`RunResult`.
 
@@ -154,11 +189,20 @@ def run(
         case (the experiment drivers solve it once and share it with the
         reference methods); by default the executor solves the coarse model
         itself, once per distinct thermal load.
+    array_backend:
+        Array-backend override (the CLI ``--array-backend`` flag routes
+        here); beats both ``spec.solver.array_backend`` and the
+        ``REPRO_ARRAY_BACKEND`` environment variable.  Both the requested
+        and the resolved (post-fallback) backend are recorded in the result.
     """
     from repro.baselines.coarse_model import CoarseChipletModel
     from repro.geometry.package import ChipletPackage
     from repro.rom.submodeling import place_submodel
     from repro.rom.workflow import MoreStressSimulator
+
+    requested = _requested_array_backend(array_backend, spec.solver.array_backend)
+    backend_obj, requested = resolve_array_backend(requested)
+    resolved_backend = backend_obj.name
 
     library = spec.materials.build_library() if materials is None else materials
     simulator = MoreStressSimulator(
@@ -169,6 +213,7 @@ def run(
         solver_options=spec.solver.build_options(),
         rom_cache=rom_cache,
         jobs=jobs if jobs is not None else spec.solver.jobs,
+        array_backend=resolved_backend,
     )
 
     # Sub-modeling context: the chiplet package and the coarse solutions
@@ -237,14 +282,16 @@ def run(
             hotspot_report = None
             if spec.output is not None:
                 # Streamed full-field reconstruction: one sampler per block
-                # kind, one block's fine field in memory at a time.
-                field_data = reconstruct_array_field(
-                    result.solution,
-                    points_per_block=spec.output.resolved_points_per_block(spec.mesh),
-                    z_planes=spec.output.z_planes,
-                    jobs=simulator.jobs,
-                    sampler_cache=field_sampler_cache,
-                )
+                # kind, one block's fine field in memory at a time.  Runs
+                # under the resolved array backend like the solve itself.
+                with use_array_backend(resolved_backend):
+                    field_data = reconstruct_array_field(
+                        result.solution,
+                        points_per_block=spec.output.resolved_points_per_block(spec.mesh),
+                        z_planes=spec.output.z_planes,
+                        jobs=simulator.jobs,
+                        sampler_cache=field_sampler_cache,
+                    )
                 if spec.output.hotspots:
                     hotspot_report = analyze_hotspots(
                         field_data,
@@ -278,6 +325,8 @@ def run(
         num_case_groups=len(groups),
         materials_overridden=materials is not None,
         rom_cache_stats=rom_cache_stats,
+        array_backend_requested=requested,
+        array_backend=resolved_backend,
     )
 
 

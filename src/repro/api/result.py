@@ -19,7 +19,12 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro._version import __version__
-from repro.api.spec import SCHEMA_VERSION, SimulationSpec, SpecError
+from repro.api.spec import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    SimulationSpec,
+    SpecError,
+)
 from repro.postprocess.fields import ArrayField
 from repro.postprocess.hotspots import HotspotReport
 from repro.utils.serialization import (
@@ -138,6 +143,10 @@ class RunResult:
     rom_cache_stats: dict[str, int] | None = None
     repro_version: str = __version__
     spec_hash: str = ""
+    #: Array backend that was requested (CLI > spec > env precedence applied)
+    #: and the backend actually used after availability fallback.
+    array_backend_requested: str = "numpy"
+    array_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         self.cases = tuple(self.cases)
@@ -185,6 +194,10 @@ class RunResult:
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec_hash,
             "backends_used": self.backends_used,
+            "array_backend": {
+                "requested": self.array_backend_requested,
+                "resolved": self.array_backend,
+            },
             "num_case_groups": self.num_case_groups,
             "materials_overridden": self.materials_overridden,
             "rom_cache": self.rom_cache_stats,
@@ -301,10 +314,10 @@ class RunResult:
             raise SpecError(f"no {_MANIFEST_NAME} found in {directory}")
         manifest = load_json(manifest_path)
         version = manifest.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise SpecError(
                 f"manifest.schema_version: unsupported version {version!r} "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"(this build reads versions {list(SUPPORTED_SCHEMA_VERSIONS)})"
             )
         spec = SimulationSpec.from_dict(manifest["spec"])
         arrays, _ = load_npz_bundle(directory / _FIELDS_NAME)
@@ -342,6 +355,9 @@ class RunResult:
                     hotspots=hotspots,
                 )
             )
+        # Version-1 manifests predate the array-backend record; default to
+        # numpy, which is what those runs used.
+        array_backend_entry = manifest.get("array_backend") or {}
         return cls(
             spec=spec,
             cases=tuple(cases),
@@ -350,6 +366,8 @@ class RunResult:
             rom_cache_stats=manifest.get("rom_cache"),
             repro_version=manifest["repro_version"],
             spec_hash=manifest["spec_hash"],
+            array_backend_requested=array_backend_entry.get("requested", "numpy"),
+            array_backend=array_backend_entry.get("resolved", "numpy"),
         )
 
 

@@ -25,6 +25,11 @@ import math
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping, Sequence
 
+from repro.backend import (
+    ARRAY_BACKEND_ALIASES,
+    array_backend_names,
+    canonical_array_backend_name,
+)
 from repro.fem.backends import BACKEND_ALIASES, backend_names
 from repro.fem.solver import SolverOptions
 from repro.geometry.tsv import TSVGeometry
@@ -49,9 +54,17 @@ from repro.utils.validation import (
     check_positive_int,
 )
 
-#: Version of the spec document layout.  Bumped on incompatible changes;
-#: ``from_dict`` refuses documents written by a different version.
-SCHEMA_VERSION = 1
+#: Version of the spec document layout.  Bumped when the layout changes;
+#: ``from_dict`` accepts every version in :data:`SUPPORTED_SCHEMA_VERSIONS`
+#: and refuses anything else.  Version history:
+#:
+#: * 1 — initial layout (no ``solver.array_backend``).
+#: * 2 — adds ``solver.array_backend``; purely additive, so version-1
+#:   documents load unchanged with the field at its ``"numpy"`` default.
+SCHEMA_VERSION = 2
+
+#: Spec document versions this build can read.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Material roles that may be overridden (the roles the meshers tag).
 KNOWN_MATERIAL_ROLES = (
@@ -437,7 +450,12 @@ class MeshSpec:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class SolverSpec:
-    """Global-stage solver configuration plus the local-stage worker count."""
+    """Global-stage solver configuration plus the local-stage worker count.
+
+    ``array_backend`` selects the dense array backend (``repro.backend``)
+    the kernels run on; the default ``"numpy"`` keeps pre-version-2 spec
+    documents loading (and producing bit-identical results) unchanged.
+    """
 
     method: str = "gmres"
     backend: str | None = None
@@ -445,6 +463,7 @@ class SolverSpec:
     max_iterations: int = 5000
     gmres_restart: int = 100
     jobs: int | None = None
+    array_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -453,6 +472,15 @@ class SolverSpec:
                 raise ValidationError(
                     f"backend must be one of {known} or null, got {self.backend!r}"
                 )
+        try:
+            canonical = canonical_array_backend_name(self.array_backend)
+        except ValidationError as exc:
+            known_arrays = sorted({*array_backend_names(), *ARRAY_BACKEND_ALIASES})
+            raise ValidationError(
+                f"array_backend must be one of {known_arrays}, "
+                f"got {self.array_backend!r}"
+            ) from exc
+        object.__setattr__(self, "array_backend", canonical)
         # SolverOptions validates method/rtol/max_iterations eagerly.
         self.build_options()
         if self.jobs is not None:
@@ -476,6 +504,7 @@ class SolverSpec:
             "max_iterations": self.max_iterations,
             "gmres_restart": self.gmres_restart,
             "jobs": self.jobs,
+            "array_backend": self.array_backend,
         }
 
     @classmethod
@@ -498,6 +527,10 @@ class SolverSpec:
                 f"{path}.gmres_restart",
             ),
             "jobs": _optional(_get(data, "jobs", path, None), _integer, f"{path}.jobs"),
+            "array_backend": _string(
+                _get(data, "array_backend", path, cls.array_backend),
+                f"{path}.array_backend",
+            ),
         }
         return _construct(cls, kwargs, path)
 
@@ -884,10 +917,10 @@ class SimulationSpec:
         ]
         _reject_unknown(data, allowed, path)
         version = _get(data, "schema_version", path, SCHEMA_VERSION)
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise SpecError(
                 f"{path}.schema_version: unsupported version {version!r} "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"(this build reads versions {list(SUPPORTED_SCHEMA_VERSIONS)})"
             )
         raw_cases = _get(data, "load_cases", path, [LoadCase().to_dict()])
         if not isinstance(raw_cases, (list, tuple)):
@@ -947,6 +980,7 @@ class SimulationSpec:
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "KNOWN_MATERIAL_ROLES",
     "KNOWN_OUTPUT_FORMATS",
     "KNOWN_SUBMODEL_LOCATIONS",

@@ -1,0 +1,35 @@
+"""CuPy implementation of the ``bm`` array namespace.
+
+Only imported when the ``cupy`` backend is activated.  CuPy deliberately
+mirrors numpy's API, so this namespace is a thin forwarder: the only extras
+are the dtype policy constants and the ``asnumpy``/``from_numpy`` boundary
+converters (device-to-host and host-to-device transfers).
+"""
+
+from __future__ import annotations
+
+import cupy as cp
+import numpy as np
+
+
+class CupyNamespace:
+    """numpy-compatible array namespace backed by CuPy device arrays."""
+
+    name = "cupy"
+    ftype = np.float64
+    itype = np.int64
+
+    @staticmethod
+    def asnumpy(array):
+        return cp.asnumpy(array)
+
+    @staticmethod
+    def from_numpy(array):
+        return cp.asarray(np.asarray(array))
+
+    @staticmethod
+    def transpose(array, axes):
+        return cp.transpose(cp.asarray(array), axes)
+
+    def __getattr__(self, attr):
+        return getattr(cp, attr)

@@ -1,0 +1,154 @@
+"""PyTorch implementation of the ``bm`` array namespace.
+
+Only imported when the ``torch`` backend is activated — importing
+:mod:`repro.backend` itself never touches this module.  Tensors live on the
+CPU and default to float64 so results track the numpy reference within
+floating-point reassociation tolerance (the equivalence tests use
+``allclose``, not bit identity).
+
+The wrappers below exist where torch's API diverges from numpy's:
+keyword names (``dim`` vs ``axis``), operand types (torch functions reject
+plain lists / numpy arrays in places numpy accepts them), dtype promotion
+(``int64 + 0.5`` would drop to torch's default float32), and
+``transpose`` (torch's two-axis swap vs numpy's full permutation —
+``bm.transpose`` always takes a permutation and maps to ``permute``).
+Everything else falls through :meth:`TorchNamespace.__getattr__` to torch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import torch
+
+
+def _torch_dtype(dtype):
+    """Map a numpy dtype / python type to the matching torch dtype."""
+    if dtype is None or isinstance(dtype, torch.dtype):
+        return dtype
+    return getattr(torch, np.dtype(dtype).name)
+
+
+def _as_tensor(array, dtype=None):
+    if isinstance(array, torch.Tensor):
+        tensor = array
+    else:
+        tensor = torch.as_tensor(np.asarray(array))
+    wanted = _torch_dtype(dtype)
+    if wanted is not None and tensor.dtype != wanted:
+        tensor = tensor.to(wanted)
+    return tensor
+
+
+class TorchNamespace:
+    """numpy-compatible array namespace backed by CPU torch tensors."""
+
+    name = "torch"
+    ftype = torch.float64
+    itype = torch.int64
+
+    # -- boundary converters ------------------------------------------- #
+    @staticmethod
+    def asnumpy(array):
+        if isinstance(array, torch.Tensor):
+            return array.detach().cpu().numpy()
+        return np.asarray(array)
+
+    @staticmethod
+    def from_numpy(array):
+        return torch.as_tensor(np.asarray(array))
+
+    # -- constructors --------------------------------------------------- #
+    @staticmethod
+    def asarray(array, dtype=None):
+        return _as_tensor(array, dtype)
+
+    @staticmethod
+    def array(array, dtype=None):
+        return _as_tensor(array, dtype).clone()
+
+    @staticmethod
+    def zeros(shape, dtype=float):
+        return torch.zeros(shape, dtype=_torch_dtype(dtype))
+
+    @staticmethod
+    def ones(shape, dtype=float):
+        return torch.ones(shape, dtype=_torch_dtype(dtype))
+
+    @staticmethod
+    def empty(shape, dtype=float):
+        return torch.empty(shape, dtype=_torch_dtype(dtype))
+
+    @staticmethod
+    def full(shape, fill_value, dtype=None):
+        if dtype is None:
+            dtype = float if isinstance(fill_value, float) else None
+        return torch.full(
+            shape if isinstance(shape, (tuple, list, torch.Size)) else (shape,),
+            fill_value,
+            dtype=_torch_dtype(dtype),
+        )
+
+    @staticmethod
+    def zeros_like(array):
+        return torch.zeros_like(_as_tensor(array))
+
+    @staticmethod
+    def empty_like(array):
+        return torch.empty_like(_as_tensor(array))
+
+    @staticmethod
+    def arange(*args, dtype=None):
+        return torch.arange(*args, dtype=_torch_dtype(dtype))
+
+    # -- shape manipulation --------------------------------------------- #
+    @staticmethod
+    def atleast_2d(array):
+        return torch.atleast_2d(_as_tensor(array))
+
+    @staticmethod
+    def transpose(array, axes):
+        """Permutation-style transpose (numpy semantics; torch ``permute``)."""
+        return _as_tensor(array).permute(*axes)
+
+    @staticmethod
+    def broadcast_to(array, shape):
+        return torch.broadcast_to(_as_tensor(array), shape)
+
+    @staticmethod
+    def stack(arrays, axis=0):
+        return torch.stack([_as_tensor(a) for a in arrays], dim=axis)
+
+    @staticmethod
+    def concatenate(arrays, axis=0):
+        return torch.cat([_as_tensor(a) for a in arrays], dim=axis)
+
+    @staticmethod
+    def column_stack(arrays):
+        return torch.column_stack([_as_tensor(a) for a in arrays])
+
+    @staticmethod
+    def meshgrid(*arrays, indexing="xy"):
+        return torch.meshgrid(*[_as_tensor(a) for a in arrays], indexing=indexing)
+
+    # -- math ------------------------------------------------------------ #
+    @staticmethod
+    def einsum(equation, *operands):
+        return torch.einsum(equation, *[_as_tensor(op, dtype=torch.float64) for op in operands])
+
+    @staticmethod
+    def matmul(a, b):
+        return torch.matmul(_as_tensor(a, dtype=torch.float64), _as_tensor(b, dtype=torch.float64))
+
+    @staticmethod
+    def sqrt(array):
+        tensor = _as_tensor(array)
+        if not tensor.is_floating_point():
+            tensor = tensor.to(torch.float64)
+        return torch.sqrt(tensor)
+
+    @staticmethod
+    def unique(array, **kwargs):
+        return torch.unique(_as_tensor(array), **kwargs)
+
+    def __getattr__(self, attr):
+        return getattr(torch, attr)

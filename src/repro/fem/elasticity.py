@@ -4,6 +4,11 @@ The assembly and stress-recovery kernels need, for every element, the Lamé
 parameters, the CTE and the 6x6 elasticity matrix.  This module resolves the
 mesh's integer material tags against a :class:`~repro.materials.MaterialLibrary`
 once and exposes the result as flat NumPy arrays for vectorised kernels.
+
+Storage stays numpy (the resolved metadata is indexed by the sparse assembly
+side and persisted in ROM caches); dense consumers convert it onto the active
+array backend (``bm``) where the arithmetic happens.  Dtype policy follows
+``bm.ftype``: all real-valued tables are float64.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import backend_manager as bm
 from repro.materials.library import MaterialLibrary
 from repro.mesh.structured import StructuredHexMesh
 
@@ -46,10 +52,14 @@ class ElementMaterialData:
         """Number of distinct material tags present in the mesh."""
         return int(self.tags.size)
 
-    def thermal_strain_unit(self) -> np.ndarray:
-        """Per-tag Voigt thermal strain for ``delta_t = 1``, shape ``(num_tags, 6)``."""
-        eps = np.zeros((self.num_tags, 6), dtype=float)
-        eps[:, :3] = self.cte[:, None]
+    def thermal_strain_unit(self):
+        """Per-tag Voigt thermal strain for ``delta_t = 1``, shape ``(num_tags, 6)``.
+
+        Computed on the active array backend (``bm``); on numpy this is the
+        plain float64 array it always was.
+        """
+        eps = bm.zeros((self.num_tags, 6), dtype=bm.ftype)
+        eps[:, :3] = bm.asarray(self.cte, dtype=bm.ftype)[:, None]
         return eps
 
     def element_lambda(self) -> np.ndarray:
@@ -76,10 +86,10 @@ def material_arrays_for_mesh(
         If a tag's role is missing from the library.
     """
     tags = np.unique(mesh.element_tags)
-    d_matrices = np.zeros((tags.size, 6, 6), dtype=float)
-    lam = np.zeros(tags.size, dtype=float)
-    mu = np.zeros(tags.size, dtype=float)
-    cte = np.zeros(tags.size, dtype=float)
+    d_matrices = np.zeros((tags.size, 6, 6), dtype=np.float64)
+    lam = np.zeros(tags.size, dtype=np.float64)
+    mu = np.zeros(tags.size, dtype=np.float64)
+    cte = np.zeros(tags.size, dtype=np.float64)
     for index, tag in enumerate(tags):
         role = mesh.tag_roles[int(tag)]
         material = materials[role]

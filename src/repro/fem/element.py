@@ -9,13 +9,23 @@ the paper's reference [17]).
 
 Voigt ordering used throughout: ``(xx, yy, zz, yz, xz, xy)`` with engineering
 shear strains.
+
+All dense arithmetic runs on the active array backend (``bm``); on the
+default numpy backend every operation resolves to the identical ``np`` call,
+so results are bit-for-bit unchanged.  Dtype policy: every kernel converts
+its inputs to ``bm.ftype`` (float64) on entry, so callers cannot silently
+drift the element math to float32 regardless of what they pass in.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import backend_manager as bm
+
 #: Local corner coordinates of the hex8 reference element, shape (8, 3).
+#: Kept as a plain numpy constant: converting it at import time would freeze
+#: the array backend before any selection has happened.
 HEX8_LOCAL_CORNERS = np.array(
     [
         (-1.0, -1.0, -1.0),
@@ -30,7 +40,12 @@ HEX8_LOCAL_CORNERS = np.array(
 )
 
 
-def gauss_points_2x2x2() -> tuple[np.ndarray, np.ndarray]:
+def _local_corners():
+    """The reference corners on the active backend, at the policy dtype."""
+    return bm.asarray(HEX8_LOCAL_CORNERS, dtype=bm.ftype)
+
+
+def gauss_points_2x2x2():
     """Return the 2x2x2 Gauss points and weights on ``[-1, 1]^3``.
 
     Returns
@@ -38,14 +53,15 @@ def gauss_points_2x2x2() -> tuple[np.ndarray, np.ndarray]:
     (points, weights)
         ``points`` has shape ``(8, 3)``, ``weights`` shape ``(8,)`` (all 1.0).
     """
-    g = 1.0 / np.sqrt(3.0)
-    pts = np.array(
-        [(sx * g, sy * g, sz * g) for sz in (-1, 1) for sy in (-1, 1) for sx in (-1, 1)]
+    g = 1.0 / float(np.sqrt(3.0))
+    pts = bm.array(
+        [(sx * g, sy * g, sz * g) for sz in (-1, 1) for sy in (-1, 1) for sx in (-1, 1)],
+        dtype=bm.ftype,
     )
-    return pts, np.ones(8)
+    return pts, bm.ones(8, dtype=bm.ftype)
 
 
-def shape_functions(local_points: np.ndarray) -> np.ndarray:
+def shape_functions(local_points):
     """Evaluate the 8 trilinear shape functions at local points.
 
     Parameters
@@ -55,12 +71,11 @@ def shape_functions(local_points: np.ndarray) -> np.ndarray:
 
     Returns
     -------
-    numpy.ndarray
-        Shape ``(n, 8)``; row ``p`` holds ``N_a(xi_p)`` for the 8 corners.
+    Shape ``(n, 8)``; row ``p`` holds ``N_a(xi_p)`` for the 8 corners.
     """
-    pts = np.atleast_2d(np.asarray(local_points, dtype=float))
+    pts = bm.atleast_2d(bm.asarray(local_points, dtype=bm.ftype))
     xi, eta, zeta = pts[:, 0:1], pts[:, 1:2], pts[:, 2:3]
-    corners = HEX8_LOCAL_CORNERS
+    corners = _local_corners()
     return (
         (1.0 + xi * corners[:, 0])
         * (1.0 + eta * corners[:, 1])
@@ -69,9 +84,7 @@ def shape_functions(local_points: np.ndarray) -> np.ndarray:
     )
 
 
-def shape_function_gradients(
-    local_points: np.ndarray, element_size: np.ndarray
-) -> np.ndarray:
+def shape_function_gradients(local_points, element_size):
     """Gradients of the shape functions with respect to *physical* coordinates.
 
     Parameters
@@ -84,30 +97,26 @@ def shape_function_gradients(
 
     Returns
     -------
-    numpy.ndarray
-        Shape ``(n, 8, 3)``; entry ``[p, a, c]`` is ``dN_a/dx_c`` at point p.
+    Shape ``(n, 8, 3)``; entry ``[p, a, c]`` is ``dN_a/dx_c`` at point p.
     """
-    pts = np.atleast_2d(np.asarray(local_points, dtype=float))
-    sizes = np.asarray(element_size, dtype=float)
+    pts = bm.atleast_2d(bm.asarray(local_points, dtype=bm.ftype))
+    sizes = bm.asarray(element_size, dtype=bm.ftype)
     if sizes.ndim == 1:
-        sizes = np.broadcast_to(sizes, (pts.shape[0], 3))
+        sizes = bm.broadcast_to(sizes, (pts.shape[0], 3))
     xi, eta, zeta = pts[:, 0:1], pts[:, 1:2], pts[:, 2:3]
-    cx, cy, cz = (
-        HEX8_LOCAL_CORNERS[:, 0],
-        HEX8_LOCAL_CORNERS[:, 1],
-        HEX8_LOCAL_CORNERS[:, 2],
-    )
+    corners = _local_corners()
+    cx, cy, cz = corners[:, 0], corners[:, 1], corners[:, 2]
     # Derivatives with respect to the local coordinates.
     dn_dxi = cx * (1.0 + eta * cy) * (1.0 + zeta * cz) / 8.0
     dn_deta = (1.0 + xi * cx) * cy * (1.0 + zeta * cz) / 8.0
     dn_dzeta = (1.0 + xi * cx) * (1.0 + eta * cy) * cz / 8.0
-    grad = np.stack([dn_dxi, dn_deta, dn_dzeta], axis=2)
+    grad = bm.stack([dn_dxi, dn_deta, dn_dzeta], axis=2)
     # Chain rule for the axis-aligned map x = x0 + (xi + 1) * dx / 2.
     jacobian_inv = 2.0 / sizes  # shape (n, 3)
     return grad * jacobian_inv[:, None, :]
 
 
-def strain_displacement_matrix(grad: np.ndarray) -> np.ndarray:
+def strain_displacement_matrix(grad):
     """Assemble B matrices from shape-function gradients.
 
     Parameters
@@ -118,17 +127,16 @@ def strain_displacement_matrix(grad: np.ndarray) -> np.ndarray:
 
     Returns
     -------
-    numpy.ndarray
-        B matrices of shape ``(n, 6, 24)`` mapping the 24 element displacement
-        DoFs (node-major: ``u0x, u0y, u0z, u1x, ...``) to Voigt strains.
+    B matrices of shape ``(n, 6, 24)`` mapping the 24 element displacement
+    DoFs (node-major: ``u0x, u0y, u0z, u1x, ...``) to Voigt strains.
     """
-    grad = np.asarray(grad, dtype=float)
+    grad = bm.asarray(grad, dtype=bm.ftype)
     n = grad.shape[0]
-    b = np.zeros((n, 6, 24), dtype=float)
+    b = bm.zeros((n, 6, 24), dtype=bm.ftype)
     dx = grad[:, :, 0]
     dy = grad[:, :, 1]
     dz = grad[:, :, 2]
-    cols = np.arange(8) * 3
+    cols = bm.arange(8, dtype=bm.itype) * 3
     b[:, 0, cols + 0] = dx
     b[:, 1, cols + 1] = dy
     b[:, 2, cols + 2] = dz
@@ -144,7 +152,7 @@ def strain_displacement_matrix(grad: np.ndarray) -> np.ndarray:
     return b
 
 
-def element_stiffness(element_size: tuple[float, float, float], d_matrix: np.ndarray) -> np.ndarray:
+def element_stiffness(element_size: tuple[float, float, float], d_matrix):
     """Compute the 24x24 stiffness matrix of an axis-aligned hex8 element.
 
     Parameters
@@ -156,26 +164,26 @@ def element_stiffness(element_size: tuple[float, float, float], d_matrix: np.nda
 
     Returns
     -------
-    numpy.ndarray
-        Symmetric element stiffness matrix of shape ``(24, 24)``.
+    Symmetric element stiffness matrix of shape ``(24, 24)`` at ``bm.ftype``.
     """
     dx, dy, dz = (float(s) for s in element_size)
     det_j = dx * dy * dz / 8.0
     pts, weights = gauss_points_2x2x2()
-    grad = shape_function_gradients(pts, np.array([dx, dy, dz]))
+    grad = shape_function_gradients(pts, bm.array([dx, dy, dz], dtype=bm.ftype))
     b = strain_displacement_matrix(grad)
-    d = np.asarray(d_matrix, dtype=float)
-    ke = np.einsum("gai,ij,gbj,g->ab", b.transpose(0, 2, 1), d, b.transpose(0, 2, 1), weights)
-    ke *= det_j
+    d = bm.asarray(d_matrix, dtype=bm.ftype)
+    bt = bm.transpose(b, (0, 2, 1))
+    ke = bm.einsum("gai,ij,gbj,g->ab", bt, d, bt, weights)
+    ke = ke * det_j
     # Enforce exact symmetry against round-off.
-    return 0.5 * (ke + ke.T)
+    return 0.5 * (ke + bm.transpose(ke, (1, 0)))
 
 
 def element_thermal_load(
     element_size: tuple[float, float, float],
-    d_matrix: np.ndarray,
-    thermal_strain: np.ndarray,
-) -> np.ndarray:
+    d_matrix,
+    thermal_strain,
+):
     """Compute the 24-entry thermal load vector of an axis-aligned hex8 element.
 
     The load corresponds to the right-hand side of the weak form (paper Eq. 5)
@@ -193,16 +201,17 @@ def element_thermal_load(
 
     Returns
     -------
-    numpy.ndarray
-        Element load vector of shape ``(24,)``.
+    Element load vector of shape ``(24,)`` at ``bm.ftype``.
     """
     dx, dy, dz = (float(s) for s in element_size)
     det_j = dx * dy * dz / 8.0
     pts, weights = gauss_points_2x2x2()
-    grad = shape_function_gradients(pts, np.array([dx, dy, dz]))
+    grad = shape_function_gradients(pts, bm.array([dx, dy, dz], dtype=bm.ftype))
     b = strain_displacement_matrix(grad)
-    stress_like = np.asarray(d_matrix, dtype=float) @ np.asarray(thermal_strain, dtype=float)
-    fe = np.einsum("gij,i,g->j", b, stress_like, weights)
+    stress_like = bm.matmul(
+        bm.asarray(d_matrix, dtype=bm.ftype), bm.asarray(thermal_strain, dtype=bm.ftype)
+    )
+    fe = bm.einsum("gij,i,g->j", b, stress_like, weights)
     return fe * det_j
 
 

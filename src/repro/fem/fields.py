@@ -9,12 +9,18 @@ constitutive law of the paper (Eq. 1):
 
     \\sigma = \\lambda\\,\\mathrm{tr}(\\epsilon) I + 2\\mu\\,\\epsilon
               - \\alpha (3\\lambda + 2\\mu) \\Delta T\\, I
+
+The dense interpolation/recovery math runs on the active array backend
+(``bm``); point location and DoF gathers stay numpy, and every public method
+returns host numpy arrays through the ``bm.asnumpy()`` seam (identity on the
+default numpy backend, so results are bit-for-bit unchanged there).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import backend_manager as bm
 from repro.fem.assembly import element_dof_map
 from repro.fem.elasticity import ElementMaterialData, material_arrays_for_mesh
 from repro.fem.element import shape_function_gradients, shape_functions
@@ -37,14 +43,16 @@ def von_mises(stress_voigt: np.ndarray) -> np.ndarray:
     numpy.ndarray
         Von Mises stress, shape ``(...,)``.
     """
-    stress = np.asarray(stress_voigt, dtype=float)
+    stress = bm.asarray(stress_voigt, dtype=bm.ftype)
     if stress.shape[-1] != 6:
-        raise ValidationError(f"stress must have 6 components, got {stress.shape}")
+        raise ValidationError(f"stress must have 6 components, got {tuple(stress.shape)}")
     sxx, syy, szz = stress[..., 0], stress[..., 1], stress[..., 2]
     syz, sxz, sxy = stress[..., 3], stress[..., 4], stress[..., 5]
-    return np.sqrt(
-        0.5 * ((sxx - syy) ** 2 + (syy - szz) ** 2 + (szz - sxx) ** 2)
-        + 3.0 * (sxy**2 + syz**2 + sxz**2)
+    return bm.asnumpy(
+        bm.sqrt(
+            0.5 * ((sxx - syy) ** 2 + (syy - szz) ** 2 + (szz - sxx) ** 2)
+            + 3.0 * (sxy**2 + syz**2 + sxz**2)
+        )
     )
 
 
@@ -95,10 +103,12 @@ class FieldEvaluator:
         points = np.atleast_2d(np.asarray(points, dtype=float))
         displacement = self._check_displacement(displacement)
         element_ids, local = self.mesh.locate_points(points)
-        n_values = shape_functions(local)  # (n, 8)
+        n_values = shape_functions(local)  # (n, 8), on the array backend
         element_dofs = self._dof_map[element_ids]  # (n, 24)
         u_elements = displacement[element_dofs].reshape(points.shape[0], 8, 3)
-        return np.einsum("pa,pac->pc", n_values, u_elements)
+        return bm.asnumpy(
+            bm.einsum("pa,pac->pc", n_values, bm.asarray(u_elements, dtype=bm.ftype))
+        )
 
     # ------------------------------------------------------------------ #
     # strain / stress
@@ -110,22 +120,24 @@ class FieldEvaluator:
         element_ids, local = self.mesh.locate_points(points)
         grads = shape_function_gradients(local, self._sizes[element_ids])  # (n, 8, 3)
         element_dofs = self._dof_map[element_ids]
-        u_elements = displacement[element_dofs].reshape(points.shape[0], 8, 3)
+        u_elements = bm.asarray(
+            displacement[element_dofs].reshape(points.shape[0], 8, 3), dtype=bm.ftype
+        )
 
-        strain = np.zeros((points.shape[0], 6), dtype=float)
-        strain[:, 0] = np.einsum("pa,pa->p", grads[:, :, 0], u_elements[:, :, 0])
-        strain[:, 1] = np.einsum("pa,pa->p", grads[:, :, 1], u_elements[:, :, 1])
-        strain[:, 2] = np.einsum("pa,pa->p", grads[:, :, 2], u_elements[:, :, 2])
-        strain[:, 3] = np.einsum("pa,pa->p", grads[:, :, 2], u_elements[:, :, 1]) + np.einsum(
+        strain = bm.zeros((points.shape[0], 6), dtype=bm.ftype)
+        strain[:, 0] = bm.einsum("pa,pa->p", grads[:, :, 0], u_elements[:, :, 0])
+        strain[:, 1] = bm.einsum("pa,pa->p", grads[:, :, 1], u_elements[:, :, 1])
+        strain[:, 2] = bm.einsum("pa,pa->p", grads[:, :, 2], u_elements[:, :, 2])
+        strain[:, 3] = bm.einsum("pa,pa->p", grads[:, :, 2], u_elements[:, :, 1]) + bm.einsum(
             "pa,pa->p", grads[:, :, 1], u_elements[:, :, 2]
         )
-        strain[:, 4] = np.einsum("pa,pa->p", grads[:, :, 2], u_elements[:, :, 0]) + np.einsum(
+        strain[:, 4] = bm.einsum("pa,pa->p", grads[:, :, 2], u_elements[:, :, 0]) + bm.einsum(
             "pa,pa->p", grads[:, :, 0], u_elements[:, :, 2]
         )
-        strain[:, 5] = np.einsum("pa,pa->p", grads[:, :, 1], u_elements[:, :, 0]) + np.einsum(
+        strain[:, 5] = bm.einsum("pa,pa->p", grads[:, :, 1], u_elements[:, :, 0]) + bm.einsum(
             "pa,pa->p", grads[:, :, 0], u_elements[:, :, 1]
         )
-        return strain
+        return bm.asnumpy(strain)
 
     def stress_at(
         self, points: np.ndarray, displacement: np.ndarray, delta_t: float = 0.0
@@ -137,23 +149,23 @@ class FieldEvaluator:
         before applying Hooke's law.
         """
         points = np.atleast_2d(np.asarray(points, dtype=float))
-        strain = self.strain_at(points, displacement)
+        strain = bm.asarray(self.strain_at(points, displacement), dtype=bm.ftype)
         element_ids, _ = self.mesh.locate_points(points)
         tag_index = self.material_data.tag_index_of_element[element_ids]
-        lam = self.material_data.lame_lambda[tag_index]
-        mu = self.material_data.lame_mu[tag_index]
-        cte = self.material_data.cte[tag_index]
+        lam = bm.asarray(self.material_data.lame_lambda[tag_index], dtype=bm.ftype)
+        mu = bm.asarray(self.material_data.lame_mu[tag_index], dtype=bm.ftype)
+        cte = bm.asarray(self.material_data.cte[tag_index], dtype=bm.ftype)
 
         trace = strain[:, 0] + strain[:, 1] + strain[:, 2]
         thermal = cte * float(delta_t) * (3.0 * lam + 2.0 * mu)
-        stress = np.zeros_like(strain)
+        stress = bm.zeros_like(strain)
         stress[:, 0] = lam * trace + 2.0 * mu * strain[:, 0] - thermal
         stress[:, 1] = lam * trace + 2.0 * mu * strain[:, 1] - thermal
         stress[:, 2] = lam * trace + 2.0 * mu * strain[:, 2] - thermal
         stress[:, 3] = mu * strain[:, 3]
         stress[:, 4] = mu * strain[:, 4]
         stress[:, 5] = mu * strain[:, 5]
-        return stress
+        return bm.asnumpy(stress)
 
     def von_mises_at(
         self, points: np.ndarray, displacement: np.ndarray, delta_t: float = 0.0

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.backend import active_array_backend_name
 from repro.fem.backends import (
     FactorizedOperator,
     SolveStats,
@@ -110,6 +111,7 @@ class LinearSolver:
         if backend.name != requested:
             # The requested backend was unavailable; record the substitution.
             stats.method = f"{requested}->{stats.method}"
+        stats.array_backend = active_array_backend_name()
         self.last_stats = stats
         return solution
 

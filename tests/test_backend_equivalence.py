@@ -1,0 +1,100 @@
+"""Numerical equivalence of the optional array backends against numpy.
+
+Every test compares a dense kernel evaluated under ``use_array_backend``
+with the reference numpy result.  The torch and cupy classes auto-skip when
+the corresponding package is not installed, so this module is safe to run
+in the minimal environment; CI's optional-deps job installs the torch CPU
+wheel to exercise the torch half for real.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.backend import use_array_backend
+from repro.fem.element import (
+    element_stiffness,
+    element_thermal_load,
+    gauss_points_2x2x2,
+    shape_function_gradients,
+    shape_functions,
+    strain_displacement_matrix,
+)
+from repro.fem.fields import von_mises
+from repro.fem.sampling import midplane_grid_points
+
+HAVE_TORCH = importlib.util.find_spec("torch") is not None
+HAVE_CUPY = importlib.util.find_spec("cupy") is not None
+
+
+def _isotropic_d_matrix() -> np.ndarray:
+    lam, mu = 2.0, 1.5
+    d = np.zeros((6, 6))
+    d[:3, :3] = lam
+    d[np.arange(3), np.arange(3)] += 2.0 * mu
+    d[np.arange(3, 6), np.arange(3, 6)] = mu
+    return d
+
+
+def _kernel_results():
+    """Evaluate every ported kernel under the active backend (host outputs)."""
+    size = (1.0, 2.0, 0.5)
+    d_matrix = _isotropic_d_matrix()
+    strain = np.array([1.0, 1.0, 1.0, 0.0, 0.0, 0.0])
+    pts, weights = gauss_points_2x2x2()
+    grads = shape_function_gradients(pts, np.asarray(size))
+    rng = np.random.default_rng(42)
+    stress = rng.normal(size=(7, 6))
+    return {
+        "gauss_points": np.asarray(pts),
+        "gauss_weights": np.asarray(weights),
+        "shape_functions": np.asarray(shape_functions(np.asarray(pts))),
+        "shape_gradients": np.asarray(grads),
+        "b_matrix": np.asarray(strain_displacement_matrix(grads)),
+        "stiffness": np.asarray(element_stiffness(size, d_matrix)),
+        "thermal_load": np.asarray(element_thermal_load(size, d_matrix, strain)),
+        "von_mises": von_mises(stress),
+        "midplane_grid": midplane_grid_points(
+            rows=2, cols=3, pitch=15.0, z_mid=25.0, points_per_block=4
+        ),
+    }
+
+
+def _assert_backend_matches_numpy(backend: str) -> None:
+    reference = _kernel_results()
+    with use_array_backend(backend) as resolved:
+        assert resolved == backend, f"{backend} unexpectedly fell back to {resolved}"
+        ported = {
+            key: np.asarray(value) for key, value in _kernel_results().items()
+        }
+    for key, expected in reference.items():
+        np.testing.assert_allclose(
+            ported[key], expected, rtol=1e-12, atol=1e-12, err_msg=key
+        )
+
+
+@pytest.mark.skipif(not HAVE_TORCH, reason="torch is not installed")
+class TestTorchEquivalence:
+    def test_all_kernels_match_numpy(self):
+        _assert_backend_matches_numpy("torch")
+
+    def test_outputs_are_host_numpy_arrays(self):
+        with use_array_backend("torch"):
+            vm = von_mises(np.ones((3, 6)))
+            grid = midplane_grid_points(
+                rows=1, cols=1, pitch=10.0, z_mid=5.0, points_per_block=3
+            )
+        assert isinstance(vm, np.ndarray)
+        assert isinstance(grid, np.ndarray)
+
+    def test_stiffness_dtype_is_float64(self):
+        with use_array_backend("torch"):
+            ke = element_stiffness((1.0, 1.0, 1.0), _isotropic_d_matrix())
+        assert np.asarray(ke).dtype == np.float64
+
+
+@pytest.mark.skipif(not HAVE_CUPY, reason="cupy is not installed")
+class TestCupyEquivalence:
+    def test_all_kernels_match_numpy(self):
+        _assert_backend_matches_numpy("cupy")
