@@ -1,0 +1,210 @@
+"""Emit BENCH_7.json: job-service latency — cold vs warm cache, dedup rate.
+
+The benchmark starts a real in-process :class:`repro.service.JobServer` on an
+ephemeral port (fresh state directory) and measures, over the wire:
+
+* **cold submit latency** — ``POST /v1/jobs`` to ``state == "done"`` for a
+  spec no worker has seen (local stage runs, ROM cache fills);
+* **warm submit latency** — the same measurement for a *different* load case
+  on the same geometry, hitting the now-warm shared ROM cache;
+* **dedup** — N concurrent submissions of one identical spec: how many
+  executor invocations actually happened (the acceptance criterion is 1) and
+  the server's measured dedup hit rate;
+* **endpoint overhead** — round-trip time of the pure-bookkeeping endpoints
+  (``/v1/healthz``, ``/v1/stats``, ``GET /v1/jobs/{id}``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [-o BENCH_7.json]
+
+The artifact is schema-versioned (``bench_schema_version``) so later PRs can
+extend it without breaking readers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+import scipy
+
+from repro import __version__
+from repro.api.spec import (
+    GeometrySpec,
+    LoadCase,
+    MeshSpec,
+    SimulationSpec,
+)
+from repro.service import JobServer, ServiceClient
+from repro.utils.parallel import available_cpus
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Concurrent identical submissions in the dedup measurement.
+DEDUP_SUBMITTERS = 8
+
+
+def _spec(name: str, delta_t: float) -> SimulationSpec:
+    return SimulationSpec(
+        name=name,
+        geometry=GeometrySpec(pitch=15.0, rows=2),
+        mesh=MeshSpec(resolution="tiny", nodes_per_axis=(3, 3, 3), points_per_block=10),
+        load_cases=(LoadCase(name="load", delta_t=delta_t),),
+    )
+
+
+def _timed_submit(client: ServiceClient, spec: SimulationSpec) -> dict:
+    """Submit one spec and wait for completion; returns latency + summary."""
+    start = time.perf_counter()
+    record = client.submit(spec)
+    submitted = time.perf_counter()
+    final = client.wait(record["id"], timeout=600, poll_seconds=0.005)
+    finished = time.perf_counter()
+    summary = final.get("result_summary") or {}
+    return {
+        "submit_roundtrip_seconds": round(submitted - start, 4),
+        "submit_to_done_seconds": round(finished - start, 4),
+        "local_stage_seconds": round(summary.get("local_stage_seconds", 0.0), 4),
+        "global_stage_seconds": round(summary.get("global_stage_seconds", 0.0), 4),
+        "executions": final["executions"],
+        "deduplicated": record["deduplicated"],
+        "state": final["state"],
+    }
+
+
+def _measure_dedup(client: ServiceClient, spec: SimulationSpec) -> dict:
+    """N threads submit one identical spec concurrently; count executions."""
+    records: list[dict] = []
+    lock = threading.Lock()
+
+    def submit() -> None:
+        record = client.submit(spec)
+        with lock:
+            records.append(record)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=submit) for _ in range(DEDUP_SUBMITTERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    job_ids = sorted({record["id"] for record in records})
+    final = client.wait(job_ids[0], timeout=600, poll_seconds=0.005)
+    elapsed = time.perf_counter() - start
+    dedup_hits = sum(1 for record in records if record["deduplicated"])
+    return {
+        "submitters": DEDUP_SUBMITTERS,
+        "distinct_jobs": len(job_ids),
+        "executions": final["executions"],
+        "submissions": final["submissions"],
+        "dedup_hits": dedup_hits,
+        "dedup_hit_rate": round(dedup_hits / DEDUP_SUBMITTERS, 4),
+        "all_submitters_to_done_seconds": round(elapsed, 4),
+    }
+
+
+def _endpoint_latency(client: ServiceClient, job_id: str, samples: int = 25) -> dict:
+    """Median round-trip of the pure-bookkeeping endpoints, in milliseconds."""
+
+    def median_ms(call) -> float:
+        times = []
+        for _ in range(samples):
+            start = time.perf_counter()
+            call()
+            times.append((time.perf_counter() - start) * 1e3)
+        return round(statistics.median(times), 3)
+
+    return {
+        "healthz_ms": median_ms(client.health),
+        "stats_ms": median_ms(client.stats),
+        "job_status_ms": median_ms(lambda: client.job(job_id)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_7.json", help="artifact path (default BENCH_7.json)"
+    )
+    args = parser.parse_args(argv)
+
+    document = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "issue": 7,
+        "description": (
+            "Job-service benchmark: cold vs warm-cache submit-to-done latency "
+            "over HTTP (2x2 array, tiny mesh, (3,3,3) nodes), concurrent-dedup "
+            "accounting, and bookkeeping-endpoint round-trips."
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "repro": __version__,
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "platform": platform.platform(),
+            "cpus": available_cpus(),
+            "workers": 2,
+        },
+    }
+
+    with tempfile.TemporaryDirectory() as state_dir, JobServer(
+        state_dir, workers=2
+    ) as server:
+        client = ServiceClient(server.url)
+
+        # Cold: nothing cached, the local stage runs inside the job.
+        cold = _timed_submit(client, _spec("bench-cold", -250.0))
+        # Warm: same geometry/mesh, different load -> shared-cache hit.
+        warm = _timed_submit(client, _spec("bench-warm", -100.0))
+        # Dedup: a third distinct spec, submitted 8x concurrently.
+        dedup = _measure_dedup(client, _spec("bench-dedup", -50.0))
+        endpoints = _endpoint_latency(client, dedup_job_id(client))
+
+        stats = client.stats()
+        document["runs"] = {
+            "cold_cache": cold,
+            "warm_cache": warm,
+            "concurrent_dedup": dedup,
+            "endpoints": endpoints,
+        }
+        document["server_stats"] = {
+            "total_jobs": stats["total_jobs"],
+            "dedup_hits": stats["dedup_hits"],
+            "rom_cache": stats["rom_cache"],
+        }
+
+    speedup = (
+        cold["submit_to_done_seconds"] / warm["submit_to_done_seconds"]
+        if warm["submit_to_done_seconds"]
+        else None
+    )
+    document["summary"] = {
+        "warm_vs_cold_speedup": round(speedup, 2) if speedup else None,
+        "dedup_executions_for_8_submissions": dedup["executions"],
+    }
+
+    Path(args.output).write_text(json.dumps(document, indent=2) + "\n")
+    print(json.dumps(document["runs"], indent=2))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+def dedup_job_id(client: ServiceClient) -> str:
+    """Any existing job id (for the status-endpoint latency probe)."""
+    return client.jobs()[0]["id"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

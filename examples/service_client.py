@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Simulation-as-a-service: submit specs to an in-process job server.
+
+This example starts a :class:`repro.service.JobServer` on an ephemeral port
+(exactly what ``repro serve`` wraps), then drives it with the typed
+:class:`repro.service.ServiceClient`:
+
+1. submit the quickstart spec and poll it to completion,
+2. submit the *same* spec again and observe the dedup hit (no re-solve),
+3. submit a different load case and watch the shared ROM cache make it fast,
+4. read back the result manifest — numerically identical to an in-process
+   :func:`repro.api.run` of the same spec.
+
+Against a long-running server, drop the ``JobServer`` block and point
+``ServiceClient`` at its URL (default ``http://127.0.0.1:8642``), or use the
+CLI: ``repro submit examples/specs/quickstart.json --url http://host:8642``.
+
+Run with:  python examples/service_client.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import SimulationSpec
+from repro.service import JobServer, ServiceClient
+
+SPEC_PATH = Path(__file__).resolve().parent / "specs" / "quickstart.json"
+
+
+def main() -> None:
+    spec = SimulationSpec.from_json(SPEC_PATH.read_text())
+
+    with tempfile.TemporaryDirectory() as state_dir, JobServer(
+        state_dir, workers=2
+    ) as server:
+        client = ServiceClient(server.url)
+        print(f"server: {server.url} (state in {state_dir})")
+        print(f"health: {client.health()['status']}")
+
+        # 1. Submit and wait.  The job id is stable and pollable from
+        #    anywhere; progress advances at every completed load case.
+        job = client.submit(spec)
+        print(f"\nsubmitted {spec.name!r}: job {job['id']} ({job['state']})")
+        job = client.wait(job["id"], timeout=600)
+        print(f"finished: {job['state']} after {job['executions']} execution(s)")
+
+        # 2. Identical resubmission: deduplicated by canonical spec hash,
+        #    attaching to the finished job instead of re-solving.
+        again = client.submit(spec)
+        print(f"\nresubmitted: job {again['id']} deduplicated={again['deduplicated']}")
+
+        # 3. A different load on the same geometry reuses the warm ROM cache
+        #    every worker shares — only the cheap global stage runs.
+        milder = SimulationSpec.from_dict(
+            {**spec.to_dict(), "name": "quickstart-mild",
+             "load_cases": [{"name": "operating", "delta_t": -100.0}]}
+        )
+        second = client.submit(milder)
+        client.wait(second["id"], timeout=600)
+        stats = client.stats()
+        print(
+            f"rom cache: {stats['rom_cache']['hits']} hit(s), "
+            f"{stats['rom_cache']['misses']} miss(es) across "
+            f"{stats['total_jobs']} job(s), {stats['dedup_hits']} dedup hit(s)"
+        )
+
+        # 4. The result manifest is the same versioned envelope RunResult.save
+        #    writes — peak stresses match an in-process run bit for bit.
+        manifest = client.result(job["id"])["data"]
+        peak = max(case["peak_von_mises"] for case in manifest["cases"])
+        print(f"\nspec {manifest['spec_hash']}: peak von Mises {peak:.1f} MPa")
+        print(json.dumps(manifest["totals"], indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,12 @@ The public API is organised in subpackages:
     The declarative layer: a serializable :class:`SimulationSpec` run
     description, the planning executor :func:`repro.api.run` and the
     persistable :class:`RunResult`.
+``repro.errors``
+    The unified error taxonomy: every failure the package raises derives
+    from :class:`ReproError` with a stable machine-readable code.
+``repro.service``
+    Simulation-as-a-service: the queued, deduplicating HTTP job server
+    (``repro serve``) and its typed client (``repro submit``).
 
 Quickstart
 ----------
@@ -66,6 +72,7 @@ from repro.baselines import (
     CoarseChipletModel,
 )
 from repro.analysis import normalized_mae, ResultTable
+from repro.errors import ReproError, SpecError, ValidationError
 from repro.api import (
     GeometrySpec,
     LoadCase,
@@ -109,4 +116,7 @@ __all__ = [
     "SubModelSpec",
     "RunResult",
     "run",
+    "ReproError",
+    "SpecError",
+    "ValidationError",
 ]

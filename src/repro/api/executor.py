@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 from contextlib import nullcontext
 from pathlib import Path
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.backend import (
     ARRAY_BACKEND_ENV_VAR,
@@ -166,6 +166,7 @@ def run(
     jobs: int | None = None,
     coarse_solution: "CoarsePackageSolution | None" = None,
     array_backend: str | None = None,
+    progress: Callable[[int, int, str], None] | None = None,
 ) -> RunResult:
     """Execute a :class:`SimulationSpec` and return its :class:`RunResult`.
 
@@ -194,6 +195,13 @@ def run(
         here); beats both ``spec.solver.array_backend`` and the
         ``REPRO_ARRAY_BACKEND`` environment variable.  Both the requested
         and the resolved (post-fallback) backend are recorded in the result.
+    progress:
+        Optional per-case completion callback, called as
+        ``progress(done_cases, total_cases, case_name)`` after each case's
+        result (including any requested post-processing) is materialized.
+        The job service threads its status updates — and cooperative
+        cancellation/timeout, which raise from inside the callback — through
+        here; an exception raised by the callback aborts the run.
     """
     from repro.baselines.coarse_model import CoarseChipletModel
     from repro.geometry.package import ChipletPackage
@@ -314,6 +322,9 @@ def run(
                 hotspots=hotspot_report,
                 simulation=result,
             )
+            if progress is not None:
+                done = sum(1 for entry in case_results if entry is not None)
+                progress(done, len(cases), case.name)
 
     cache = simulator.rom_cache
     rom_cache_stats = (

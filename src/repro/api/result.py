@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from repro._version import __version__
+from repro.api.envelope import unwrap, wrap
 from repro.api.spec import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMA_VERSIONS,
@@ -208,6 +209,15 @@ class RunResult:
             "cases": [case.summary() for case in self.cases],
         }
 
+    def envelope(self) -> dict[str, Any]:
+        """The manifest wrapped in the versioned response envelope.
+
+        This is the exact document :meth:`save` persists as ``manifest.json``
+        and the job service returns from ``/v1/jobs/{id}/result`` — one
+        shape for disk, wire and CLI ``--json`` output.
+        """
+        return wrap("run_result", self.manifest())
+
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
@@ -285,7 +295,7 @@ class RunResult:
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        dump_json(directory / _MANIFEST_NAME, self.manifest())
+        dump_json(directory / _MANIFEST_NAME, self.envelope())
         arrays = {
             f"von_mises_{index}": case.von_mises
             for index, case in enumerate(self.cases)
@@ -312,7 +322,11 @@ class RunResult:
         manifest_path = directory / _MANIFEST_NAME
         if not manifest_path.exists():
             raise SpecError(f"no {_MANIFEST_NAME} found in {directory}")
-        manifest = load_json(manifest_path)
+        # Envelope-version-3 manifests carry the payload under "data";
+        # version-1/2 manifests were written flat and unwrap as themselves.
+        manifest = unwrap(
+            load_json(manifest_path), expected_kind="run_result", path="manifest"
+        )
         version = manifest.get("schema_version")
         if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise SpecError(

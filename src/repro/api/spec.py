@@ -30,6 +30,9 @@ from repro.backend import (
     array_backend_names,
     canonical_array_backend_name,
 )
+# Deprecated alias: SpecError now lives in the unified exception taxonomy
+# (repro.errors); importing it from here keeps working.
+from repro.errors import SpecError
 from repro.fem.backends import BACKEND_ALIASES, backend_names
 from repro.fem.solver import SolverOptions
 from repro.geometry.tsv import TSVGeometry
@@ -81,10 +84,6 @@ KNOWN_MATERIAL_ROLES = (
 KNOWN_SUBMODEL_LOCATIONS = ("loc1", "loc2", "loc3", "loc4", "loc5")
 
 _MISSING = object()
-
-
-class SpecError(ValidationError):
-    """A malformed spec document; the message names the offending field."""
 
 
 # --------------------------------------------------------------------------- #

@@ -40,6 +40,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from repro.errors import BackendError
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
@@ -176,7 +177,7 @@ def canonical_array_backend_name(name: str) -> str:
     key = ARRAY_BACKEND_ALIASES.get(key, key)
     if key not in _REGISTRY:
         known = sorted({*_REGISTRY, *ARRAY_BACKEND_ALIASES})
-        raise ValidationError(
+        raise BackendError(
             f"unknown array backend {name!r}; known backends: {', '.join(known)}"
         )
     return key
@@ -210,7 +211,7 @@ def resolve_array_backend(name: str) -> tuple[ArrayBackend, str]:
                 candidate.name,
             )
             return candidate, requested
-    raise ValidationError(f"no usable array backend for {name!r}")
+    raise BackendError(f"no usable array backend for {name!r}")
 
 
 def register_array_backend(backend: ArrayBackend, replace: bool = False) -> None:

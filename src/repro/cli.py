@@ -20,19 +20,32 @@ The CLI exposes the most common workflows without writing Python:
     ``--export-field DIR`` to produce the same artifacts inline).
 ``python -m repro table1|table2|table3 --preset small``
     Regenerate the paper's tables (see EXPERIMENTS.md) and print them as text.
+``python -m repro serve --store service-data``
+    Run the HTTP job server: queued, deduplicating simulation-as-a-service
+    over one warm ROM cache (see :mod:`repro.service`).
+``python -m repro submit run.json --url http://127.0.0.1:8642``
+    Submit a spec file to a running server, wait, and print the summary.
+
+Every command accepts ``--json`` to emit the versioned response envelope
+(:mod:`repro.api.envelope`) on stdout instead of the human-readable text —
+the same document shape the service API returns — so shell pipelines and the
+HTTP surface read identically.  ``simulate``/``run`` keep their historical
+``--json PATH`` meaning (write the flat provenance manifest to a file).
 
 Every command is a thin shell over the public API (``repro.api`` for runs,
-``repro.experiments`` for the tables), so everything the CLI does is equally
-accessible — and scriptable — from Python.
+``repro.experiments`` for the tables, ``repro.service`` for the server), so
+everything the CLI does is equally accessible — and scriptable — from Python.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro._version import __version__
 from repro.api import (
@@ -49,6 +62,8 @@ from repro.api import (
     SpecError,
     run as run_simulation_spec,
 )
+from repro.api.envelope import wrap
+from repro.errors import ReproError, error_envelope
 from repro.experiments.config import ConvergenceConfig, Scenario1Config, Scenario2Config
 from repro.backend import (
     ARRAY_BACKEND_ALIASES,
@@ -62,6 +77,7 @@ from repro.experiments.scenario2 import run_scenario2, scenario2_table
 from repro.materials.library import MaterialLibrary
 from repro.mesh.resolution import MeshResolution
 from repro.rom.interpolation import InterpolationScheme
+from repro.service.protocol import DEFAULT_PORT
 from repro.utils.logging import enable_console_logging
 from repro.utils.serialization import dump_json
 from repro.utils.validation import ValidationError
@@ -109,6 +125,38 @@ def _add_jobs_argument(parser: argparse.ArgumentParser, what: str) -> None:
             f"workers for {what} (default: one per CPU); "
             "results are identical to --jobs 1"
         ),
+    )
+
+
+def _add_json_envelope_argument(parser: argparse.ArgumentParser, what: str) -> None:
+    """The uniform ``--json [PATH]`` flag: envelope to stdout (or PATH)."""
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        default=None,
+        dest="json_path",
+        help=(
+            f"emit {what} as the versioned response envelope on stdout "
+            "(or to PATH), suppressing the text output"
+        ),
+    )
+
+
+def _emit_envelope(document: dict, json_path: str) -> None:
+    """Write a response envelope to stdout (``-``) or a file path."""
+    if json_path == "-":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        dump_json(json_path, document)
+
+
+def _table_envelope(table: Any) -> dict:
+    """The ``kind="table"`` envelope of a ResultTable."""
+    return wrap(
+        "table",
+        {"title": table.title, "columns": list(table.columns), "rows": table.rows},
     )
 
 
@@ -198,10 +246,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--json",
+        nargs="?",
+        const="-",
         metavar="PATH",
         default=None,
         dest="json_path",
-        help="also write the RunResult provenance manifest as JSON",
+        help=(
+            "bare --json: print the versioned result envelope on stdout "
+            "(suppresses the text summary); --json PATH: also write the flat "
+            "provenance manifest to PATH"
+        ),
     )
     simulate.add_argument(
         "--export-field",
@@ -255,10 +309,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_jobs_argument(run, "the parallel local stage")
     run.add_argument(
         "--json",
+        nargs="?",
+        const="-",
         metavar="PATH",
         default=None,
         dest="json_path",
-        help="also write the RunResult provenance manifest as JSON",
+        help=(
+            "bare --json: print the versioned result envelope on stdout "
+            "(suppresses the text summary); --json PATH: also write the flat "
+            "provenance manifest to PATH"
+        ),
     )
     run.add_argument(
         "--save",
@@ -308,6 +368,96 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persistent ROM cache directory (used only if the run must be re-solved)",
     )
     _add_jobs_argument(export, "the field reconstruction")
+    _add_json_envelope_argument(export, "the export summary + hotspot tables")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP job server (queued, deduplicating simulation-as-a-service)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default="service-data",
+        help=(
+            "service state directory holding the persistent job queue, saved "
+            "results and the shared ROM cache (default: service-data)"
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port; 0 picks an ephemeral port (default {DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="concurrent jobs (default: half the CPUs)",
+    )
+    serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=256,
+        metavar="N",
+        help="reject new submissions beyond N queued jobs with HTTP 429 (default 256)",
+    )
+    serve.add_argument(
+        "--rom-cache",
+        metavar="DIR",
+        default=None,
+        help="shared ROM cache directory (default: STORE/rom_cache)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-job wall-clock timeout (default: none)",
+    )
+    _add_json_envelope_argument(serve, "the startup announcement (url, store, workers)")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a SimulationSpec JSON file to a running job server"
+    )
+    submit.add_argument("spec_path", metavar="SPEC.json", help="spec file to submit")
+    submit.add_argument(
+        "--url",
+        default=f"http://127.0.0.1:{DEFAULT_PORT}",
+        help=f"server base URL (default http://127.0.0.1:{DEFAULT_PORT})",
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="queue the job and return immediately instead of waiting for the result",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="client-side wait budget for job completion (default 600)",
+    )
+    submit.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="server-side per-job wall-clock timeout for this submission",
+    )
+    submit.add_argument(
+        "--fields",
+        metavar="PATH",
+        default=None,
+        help="download the finished job's fields.npz bundle to PATH",
+    )
+    _add_json_envelope_argument(
+        submit, "the result envelope (or the job record with --no-wait)"
+    )
 
     for name, help_text in (
         ("table1", "regenerate Table 1 (standalone arrays)"),
@@ -325,6 +475,7 @@ def _build_parser() -> argparse.ArgumentParser:
             ),
         )
         _add_jobs_argument(table, "the independent experiment cases")
+        _add_json_envelope_argument(table, "the table (title, columns, rows)")
 
     return parser
 
@@ -417,16 +568,35 @@ def _print_run_summary(result: RunResult, verbose_cache: bool = True) -> None:
         print(f"rom cache         : {stats['hits']} hit(s), {stats['misses']} miss(es)")
 
 
-def _export_and_report(result: RunResult, directory: str | Path, formats=None) -> None:
-    """Write field exports + hotspot report and print the hotspot tables."""
+def _export_and_report(
+    result: RunResult, directory: str | Path, formats=None, quiet: bool = False
+) -> dict:
+    """Write field exports + hotspot report; print (unless quiet) and
+    return the ``kind="export"`` envelope payload."""
     written = result.export_fields(directory, formats=formats)
-    for path in written:
-        print(f"export            : {path}")
     top_k = result.spec.output.top_k if result.spec.output is not None else 10
+    hotspots = {}
     for case in result.cases:
         if case.hotspots is not None:
-            print()
-            print(case.hotspots.table(top_k).to_text())
+            table = case.hotspots.table(top_k)
+            hotspots[case.name] = {
+                "title": table.title,
+                "columns": list(table.columns),
+                "rows": table.rows,
+            }
+    if not quiet:
+        for path in written:
+            print(f"export            : {path}")
+        for case in result.cases:
+            if case.hotspots is not None:
+                print()
+                print(case.hotspots.table(top_k).to_text())
+    return {
+        "spec_hash": result.spec_hash,
+        "output_dir": str(Path(directory)),
+        "files": [str(path) for path in written],
+        "hotspots": hotspots,
+    }
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -436,25 +606,30 @@ def _command_simulate(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     result = run_simulation_spec(spec, rom_cache=args.rom_cache)
-    case = result.cases[0]
-    vm = case.von_mises
-    rows, cols = vm.shape[:2]
-    local_note = "one-shot"
-    if result.rom_cache_stats is not None:
-        stats = result.rom_cache_stats
-        local_note = f"rom cache: {stats['hits']} hit(s), {stats['misses']} miss(es)"
-    print(f"array             : {rows}x{cols} TSVs at pitch {args.pitch:g} um")
-    print(f"thermal load      : {args.delta_t:g} degC")
-    print(f"local stage       : {case.local_stage_seconds:.2f} s ({local_note})")
-    print(f"global stage      : {case.global_stage_seconds:.3f} s")
-    print(f"reduced DoFs      : {case.num_global_dofs}")
-    print(f"peak von Mises    : {vm.max():.1f} MPa")
-    print(f"mean von Mises    : {vm.mean():.1f} MPa")
-    if args.json_path:
+    json_mode = args.json_path == "-"
+    if not json_mode:
+        case = result.cases[0]
+        vm = case.von_mises
+        rows, cols = vm.shape[:2]
+        local_note = "one-shot"
+        if result.rom_cache_stats is not None:
+            stats = result.rom_cache_stats
+            local_note = f"rom cache: {stats['hits']} hit(s), {stats['misses']} miss(es)"
+        print(f"array             : {rows}x{cols} TSVs at pitch {args.pitch:g} um")
+        print(f"thermal load      : {args.delta_t:g} degC")
+        print(f"local stage       : {case.local_stage_seconds:.2f} s ({local_note})")
+        print(f"global stage      : {case.global_stage_seconds:.3f} s")
+        print(f"reduced DoFs      : {case.num_global_dofs}")
+        print(f"peak von Mises    : {vm.max():.1f} MPa")
+        print(f"mean von Mises    : {vm.mean():.1f} MPa")
+    if args.json_path and not json_mode:
+        # Historical behaviour: --json PATH writes the *flat* manifest file.
         dump_json(args.json_path, result.manifest())
         print(f"manifest          : {args.json_path}")
     if args.export_field:
-        _export_and_report(result, args.export_field)
+        _export_and_report(result, args.export_field, quiet=json_mode)
+    if json_mode:
+        _emit_envelope(result.envelope(), "-")
     return 0
 
 
@@ -491,16 +666,22 @@ def _command_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         array_backend=args.array_backend,
     )
-    print(f"spec              : {spec.name} ({result.spec_hash})")
-    _print_run_summary(result)
-    if args.json_path:
+    json_mode = args.json_path == "-"
+    if not json_mode:
+        print(f"spec              : {spec.name} ({result.spec_hash})")
+        _print_run_summary(result)
+    if args.json_path and not json_mode:
+        # Historical behaviour: --json PATH writes the *flat* manifest file.
         dump_json(args.json_path, result.manifest())
         print(f"manifest          : {args.json_path}")
     if args.save:
         result.save(args.save)
-        print(f"full result       : {args.save}")
+        if not json_mode:
+            print(f"full result       : {args.save}")
     if args.export_field:
-        _export_and_report(result, args.export_field)
+        _export_and_report(result, args.export_field, quiet=json_mode)
+    if json_mode:
+        _emit_envelope(result.envelope(), "-")
     return 0
 
 
@@ -530,11 +711,20 @@ def _command_export(args: argparse.Namespace) -> int:
         result.spec_hash = archived_hash
     formats = tuple(args.formats) if args.formats else None
     out_dir = Path(args.output) if args.output else results_dir / "fields"
-    _export_and_report(result, out_dir, formats=formats)
+    document = _export_and_report(
+        result, out_dir, formats=formats, quiet=args.json_path == "-"
+    )
+    if args.json_path:
+        _emit_envelope(wrap("export", document), args.json_path)
     return 0
 
 
-def _command_table(name: str, preset: str = "small", jobs: int | None = None) -> int:
+def _command_table(
+    name: str,
+    preset: str = "small",
+    jobs: int | None = None,
+    json_path: str | None = None,
+) -> int:
     config_cls = _TABLE_CONFIGS[name]
     factory = getattr(config_cls, preset, None)
     if factory is None:
@@ -547,15 +737,118 @@ def _command_table(name: str, preset: str = "small", jobs: int | None = None) ->
         return 2
     config = factory()
     if name == "table1":
-        records = run_scenario1(config, jobs=jobs)
-        print(scenario1_table(records).to_text())
+        table = scenario1_table(run_scenario1(config, jobs=jobs))
     elif name == "table2":
-        records = run_scenario2(config, jobs=jobs)
-        print(scenario2_table(records).to_text())
+        table = scenario2_table(run_scenario2(config, jobs=jobs))
     else:
         records, reference_seconds = run_convergence_study(config, jobs=jobs)
-        print(convergence_table(records, reference_seconds).to_text())
+        table = convergence_table(records, reference_seconds)
+    if json_path:
+        _emit_envelope(_table_envelope(table), json_path)
+    if json_path != "-":
+        print(table.to_text())
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import JobServer
+
+    server = JobServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queued=args.max_queued,
+        rom_cache=args.rom_cache,
+        default_timeout_seconds=args.job_timeout,
+    )
+    server.start()
+    document = wrap(
+        "serve",
+        {
+            "url": server.url,
+            "store": str(server.store.directory),
+            "workers": server.pool.workers,
+            "max_queued": args.max_queued,
+        },
+    )
+    if args.json_path:
+        _emit_envelope(document, args.json_path)
+    if args.json_path != "-":
+        print(f"serving           : {server.url}")
+        print(f"store             : {server.store.directory}")
+        print(f"workers           : {server.pool.workers}")
+        print("press Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        if args.json_path != "-":
+            print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    path = Path(args.spec_path)
+    if not path.exists():
+        print(f"error: spec file {path} does not exist", file=sys.stderr)
+        return 2
+    try:
+        spec = SimulationSpec.from_json(path.read_text())
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    json_mode = args.json_path == "-"
+    client = ServiceClient(args.url)
+    try:
+        record = client.submit(spec, timeout_seconds=args.job_timeout)
+        if not json_mode:
+            note = " (deduplicated)" if record.get("deduplicated") else ""
+            print(f"job               : {record['id']}{note}")
+            print(f"state             : {record['state']}")
+        if args.no_wait:
+            if args.json_path:
+                _emit_envelope(wrap("job", {"job": record}), args.json_path)
+            return 0
+        record = client.wait(record["id"], timeout=args.timeout)
+        if record["state"] != "done":
+            error = record.get("error") or {}
+            print(
+                f"error: job {record['id']} {record['state']}: "
+                f"{error.get('message', 'no error recorded')}",
+                file=sys.stderr,
+            )
+            if args.json_path:
+                _emit_envelope(wrap("job", {"job": record}), args.json_path)
+            return 1
+        envelope = client.result(record["id"])
+        if not json_mode:
+            manifest = envelope["data"]
+            spec_name = (manifest.get("spec") or {}).get("name", spec.name)
+            print(f"spec              : {spec_name} ({manifest['spec_hash']})")
+            for case in manifest["cases"]:
+                print(
+                    f"case {case['name']:14s}: {case['rows']}x{case['cols']} TSVs, "
+                    f"peak von Mises {case['peak_von_mises']:.1f} MPa "
+                    f"({case['global_stage_seconds']:.3f} s global)"
+                )
+        if args.fields:
+            destination = client.fetch_fields(record["id"], args.fields)
+            if not json_mode:
+                print(f"fields            : {destination}")
+        if args.json_path:
+            _emit_envelope(envelope, args.json_path)
+        return 0
+    except ReproError as exc:
+        if json_mode:
+            print(json.dumps(error_envelope(exc), indent=2, sort_keys=True))
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -574,8 +867,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_run(args)
     if args.command == "export":
         return _command_export(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "submit":
+        return _command_submit(args)
     if args.command in _TABLE_COMMANDS:
-        return _command_table(args.command, preset=args.preset, jobs=args.jobs)
+        return _command_table(
+            args.command,
+            preset=args.preset,
+            jobs=args.jobs,
+            json_path=args.json_path,
+        )
     parser.error(f"unknown command {args.command!r}")
     return 2
 

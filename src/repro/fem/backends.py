@@ -43,6 +43,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.errors import BackendError
 from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
 
@@ -423,7 +424,7 @@ def canonical_backend_name(name: str) -> str:
     key = BACKEND_ALIASES.get(key, key)
     if key not in _REGISTRY:
         known = sorted({*_REGISTRY, *BACKEND_ALIASES})
-        raise ValidationError(
+        raise BackendError(
             f"unknown solver backend {name!r}; known backends: {', '.join(known)}"
         )
     return key
@@ -456,7 +457,7 @@ def resolve_backend(name: str) -> tuple[SparseBackend, str]:
                 candidate.name,
             )
             return candidate, requested
-    raise ValidationError(f"no usable solver backend for {name!r}")
+    raise BackendError(f"no usable solver backend for {name!r}")
 
 
 __all__ = [

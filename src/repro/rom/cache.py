@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 import uuid
 from contextlib import contextmanager
@@ -90,7 +91,11 @@ class ROMCache:
         Cache directory (created on first write).  Point several processes at
         the same directory to share one cache.
     hits, misses:
-        Lookup statistics of this cache instance.
+        Lookup statistics of this cache instance.  Counter updates are
+        serialised by an internal lock so one cache instance can back many
+        concurrent readers (the job service shares a single process-wide
+        cache across its worker pool); :meth:`stats` takes one consistent
+        snapshot of both counters.
     """
 
     directory: str | Path
@@ -103,6 +108,26 @@ class ROMCache:
             raise ValidationError(
                 f"ROM cache path {self.directory} exists but is not a directory"
             )
+        self._stats_lock = threading.Lock()
+
+    def _record(self, hit: bool) -> None:
+        with self._stats_lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    def stats(self) -> dict[str, float | int]:
+        """A consistent snapshot of the lookup statistics of this instance."""
+        with self._stats_lock:
+            hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "entries": len(self),
+        }
 
     def _bundle_path(self, key: str) -> Path:
         """The single key-to-path mapping shared by all lookups and writes."""
@@ -178,7 +203,7 @@ class ROMCache:
         """Return the cached ROM for a configuration, or ``None`` on a miss."""
         path = self.path_for(block, resolution, scheme, materials)
         if not path.exists():
-            self.misses += 1
+            self._record(hit=False)
             return None
         try:
             rom = ReducedOrderModel.load(path)
@@ -189,10 +214,10 @@ class ROMCache:
             _logger.warning(
                 "ROM cache: failed to load %s; treating as a miss", path.name
             )
-            self.misses += 1
+            self._record(hit=False)
             return None
         rom.check_materials(materials)
-        self.hits += 1
+        self._record(hit=True)
         _logger.info("ROM cache hit: %s", path.name)
         return rom
 

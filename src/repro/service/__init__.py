@@ -1,0 +1,59 @@
+"""Simulation-as-a-service: a queued, deduplicating job server over specs.
+
+The batch CLI pays process startup and a cold ROM cache on every invocation.
+This package is the long-lived alternative (ROADMAP item 1): an HTTP job
+server — pure stdlib, no new dependencies — that accepts
+:class:`~repro.api.SimulationSpec` JSON, queues jobs into a rate-limited
+worker pool sharing one warm process-wide :class:`~repro.rom.cache.ROMCache`,
+deduplicates identical specs by canonical content hash, survives restarts
+(queued/running jobs are re-queued from the persistent store), and serves
+result manifests, hotspot tables and exported fields back out.
+
+Layers, bottom up:
+
+:mod:`repro.service.jobs`
+    The persistent :class:`JobStore`: one JSON document per job, atomic
+    writes, spec-hash dedup, restart recovery.
+:mod:`repro.service.pool`
+    The :class:`WorkerPool`: N worker threads draining the queue, per-job
+    cooperative timeout/cancellation, bounded retry with backoff.
+:mod:`repro.service.server`
+    :class:`JobServer`: a ``ThreadingHTTPServer`` exposing the ``/v1`` API.
+:mod:`repro.service.client`
+    :class:`ServiceClient`: the typed stdlib client (submit/wait/result/
+    fields/cancel), re-raising server-side errors as their
+    :mod:`repro.errors` classes.
+
+Quickstart::
+
+    >>> from repro.service import JobServer, ServiceClient        # doctest: +SKIP
+    >>> server = JobServer("service-data", port=0).start()        # doctest: +SKIP
+    >>> client = ServiceClient(server.url)                        # doctest: +SKIP
+    >>> job = client.submit(spec)                                 # doctest: +SKIP
+    >>> client.wait(job["id"])                                    # doctest: +SKIP
+    >>> client.result(job["id"])["data"]["cases"][0]["peak_von_mises"]  # doctest: +SKIP
+
+or, from the shell, ``repro serve`` and ``repro submit spec.json --url ...``.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import (
+    ACTIVE_JOB_STATES,
+    JOB_STATES,
+    TERMINAL_JOB_STATES,
+    Job,
+    JobStore,
+)
+from repro.service.pool import WorkerPool
+from repro.service.server import JobServer
+
+__all__ = [
+    "JOB_STATES",
+    "ACTIVE_JOB_STATES",
+    "TERMINAL_JOB_STATES",
+    "Job",
+    "JobStore",
+    "WorkerPool",
+    "JobServer",
+    "ServiceClient",
+]

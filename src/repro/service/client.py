@@ -1,0 +1,194 @@
+"""Typed stdlib client for the ``/v1`` job API.
+
+:class:`ServiceClient` wraps ``urllib.request`` — no new dependencies — and
+speaks the same wire protocol module the server does
+(:mod:`repro.service.protocol`).  Server-side failures arrive as the
+taxonomy's error envelope and are re-raised locally as their original
+:mod:`repro.errors` classes, so ``except SpecError`` works identically for
+in-process and over-the-wire execution::
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    job = client.submit(spec)
+    job = client.wait(job["id"], timeout=600)
+    manifest = client.result(job["id"])["data"]
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.api.spec import SimulationSpec
+from repro.errors import (
+    JobError,
+    JobTimeoutError,
+    ReproError,
+    error_from_envelope,
+)
+from repro.service import protocol
+
+_DEFAULT_POLL_SECONDS = 0.1
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.JobServer`.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the server, e.g. ``"http://127.0.0.1:8642"``.  A bare
+        ``host:port`` (no scheme) is accepted and normalised to ``http://``.
+    timeout_seconds:
+        Per-request socket timeout (not the job-completion timeout — that is
+        :meth:`wait`'s ``timeout`` argument).
+    """
+
+    def __init__(self, url: str, *, timeout_seconds: float = 30.0) -> None:
+        if "://" not in url:
+            url = f"http://{url}"
+        self.url = url.rstrip("/")
+        self.timeout_seconds = float(timeout_seconds)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(
+        self,
+        method: str,
+        path: str,
+        document: Any = None,
+        *,
+        raw: bool = False,
+    ) -> Any:
+        body = protocol.encode_document(document) if document is not None else None
+        request = urllib.request.Request(
+            f"{self.url}{protocol.API_PREFIX}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_seconds) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as exc:
+            payload = exc.read()
+            envelope = protocol.decode_document(payload, path=f"{method} {path} response")
+            if isinstance(envelope, Mapping) and "error" in envelope:
+                raise error_from_envelope(envelope) from None
+            raise JobError(
+                f"{method} {path}: HTTP {exc.code} without an error envelope"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise JobError(f"{method} {path}: cannot reach {self.url} ({exc.reason})") from exc
+        if raw:
+            return payload
+        return protocol.decode_document(payload, path=f"{method} {path} response")
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        spec: "SimulationSpec | Mapping[str, Any]",
+        *,
+        timeout_seconds: float | None = None,
+        max_attempts: int | None = None,
+    ) -> dict[str, Any]:
+        """Submit a spec; returns the job record (``{"id", "state", ...}``).
+
+        A dedup hit onto an existing job for the same canonical spec is
+        reported by the ``"deduplicated": True`` key on the returned record.
+        """
+        document: dict[str, Any] = {
+            "spec": spec.to_dict() if isinstance(spec, SimulationSpec) else dict(spec)
+        }
+        if timeout_seconds is not None:
+            document["timeout_seconds"] = timeout_seconds
+        if max_attempts is not None:
+            document["max_attempts"] = max_attempts
+        envelope = self._request("POST", "/jobs", document)
+        record = dict(envelope["data"]["job"])
+        record["deduplicated"] = bool(envelope["data"].get("deduplicated", False))
+        return record
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """Fetch one job's status + progress + solve statistics."""
+        return self._request("GET", f"/jobs/{job_id}")["data"]["job"]
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """List every job the server knows about, oldest first."""
+        return self._request("GET", "/jobs")["data"]["jobs"]
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll_seconds: float = _DEFAULT_POLL_SECONDS,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its record.
+
+        Raises :class:`JobTimeoutError` if the client-side wait budget runs
+        out first (the job itself keeps running server-side).
+        """
+        deadline = time.time() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.time() > deadline:
+                raise JobTimeoutError(
+                    f"job {job_id} still {record['state']} after waiting {timeout:g}s"
+                )
+            time.sleep(poll_seconds)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's result envelope (the saved ``manifest.json``)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def fetch_fields(self, job_id: str, destination: str | Path) -> Path:
+        """Download the job's ``fields.npz`` bundle to ``destination``."""
+        payload = self._request("GET", f"/jobs/{job_id}/fields", raw=True)
+        destination = Path(destination)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_bytes(payload)
+        return destination
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Request cancellation; returns the (possibly already-updated) job."""
+        return self._request("DELETE", f"/jobs/{job_id}")["data"]["job"]
+
+    def health(self) -> dict[str, Any]:
+        """The liveness document (``{"status": "ok", ...}``)."""
+        return self._request("GET", "/healthz")["data"]
+
+    def stats(self) -> dict[str, Any]:
+        """Queue depth, worker utilization and ROM-cache hit rates."""
+        return self._request("GET", "/stats")["data"]
+
+    def run(
+        self,
+        spec: "SimulationSpec | Mapping[str, Any]",
+        *,
+        timeout: float = 600.0,
+        timeout_seconds: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit, wait, and return the result envelope in one call.
+
+        Raises the job's recorded taxonomy error if it failed or was
+        cancelled instead of returning a manifest.
+        """
+        record = self.submit(spec, timeout_seconds=timeout_seconds)
+        record = self.wait(record["id"], timeout=timeout)
+        if record["state"] != "done":
+            error = record.get("error")
+            if error:
+                raise error_from_envelope({"error": error})
+            raise ReproError(f"job {record['id']} ended in state {record['state']!r}")
+        return self.result(record["id"])
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,414 @@
+"""Persistent job store: one atomic JSON document per job, dedup by spec hash.
+
+A :class:`Job` is the unit of work of the service: one
+:class:`~repro.api.SimulationSpec` plus queueing state, progress, retry
+accounting and (once done) a result summary.  The :class:`JobStore` keeps
+every job as ``jobs/<id>.json`` under its directory — written atomically via
+:func:`~repro.utils.serialization.dump_json` so a killed server never leaves
+a torn document — and reloads them on construction, which is what makes a
+restarted server resume its queue (:meth:`JobStore.recover`).
+
+Deduplication is by canonical spec hash: submitting a spec whose
+:meth:`~repro.api.SimulationSpec.spec_hash` matches a queued, running or
+completed job attaches the caller to that job instead of re-solving
+(semantically identical documents hash identically because the hash covers
+the *normalized* spec, with all defaults filled in).  Failed and cancelled
+jobs do not block resubmission.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.api.spec import SimulationSpec
+from repro.errors import (
+    JobNotFoundError,
+    JobQueueFullError,
+    JobStateError,
+    SpecConflictError,
+    ValidationError,
+    error_envelope,
+)
+from repro.utils.logging import get_logger
+from repro.utils.serialization import dump_json, load_json
+
+_logger = get_logger("service.jobs")
+
+#: Lifecycle states of a job.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job can still leave.
+ACTIVE_JOB_STATES = ("queued", "running")
+
+#: States a job never leaves.
+TERMINAL_JOB_STATES = ("done", "failed", "cancelled")
+
+_JOBS_SUBDIR = "jobs"
+_RESULTS_SUBDIR = "results"
+
+
+@dataclass
+class Job:
+    """One queued simulation: a spec document plus its service lifecycle.
+
+    Attributes
+    ----------
+    id:
+        Opaque unique identifier (stable across server restarts).
+    spec:
+        The *normalized* spec document (``SimulationSpec.to_dict()`` of the
+        parsed submission — defaults filled in, unknown fields rejected).
+    spec_hash:
+        Canonical content hash of ``spec``; the dedup key.
+    state:
+        One of :data:`JOB_STATES`.
+    created_at, started_at, finished_at:
+        Unix timestamps (``started_at``/``finished_at`` are ``None`` until
+        the transition happens).
+    attempts, max_attempts:
+        Executor invocations consumed / allowed.  Transient failures are
+        retried with backoff until ``max_attempts`` is exhausted.
+    timeout_seconds:
+        Per-job wall-clock budget, enforced cooperatively at case boundaries
+        (``None`` = no limit).
+    cancel_requested:
+        Set by ``DELETE /v1/jobs/{id}`` on a running job; the worker honours
+        it at the next case boundary.
+    progress:
+        ``{"done_cases", "total_cases"}`` updated after every completed case.
+    executions:
+        Total executor invocations recorded for this job — the dedup
+        accounting: N submissions of one spec still show ``executions == 1``.
+    submissions:
+        How many times this job was submitted (first submission + dedup hits).
+    error:
+        The structured error envelope of the failure (``state == "failed"``).
+    result_summary:
+        Solve statistics of the finished run (peak stress, stage timings,
+        backends used) — the lightweight status view; the full manifest lives
+        in the result directory.
+    """
+
+    id: str
+    spec: dict[str, Any]
+    spec_hash: str
+    state: str = "queued"
+    created_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    max_attempts: int = 2
+    timeout_seconds: float | None = None
+    cancel_requested: bool = False
+    progress: dict[str, int] = field(
+        default_factory=lambda: {"done_cases": 0, "total_cases": 0}
+    )
+    executions: int = 0
+    submissions: int = 1
+    error: dict[str, Any] | None = None
+    result_summary: dict[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ValidationError(
+                f"job state must be one of {list(JOB_STATES)}, got {self.state!r}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValidationError(
+                f"timeout_seconds must be positive or null, got {self.timeout_seconds}"
+            )
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def build_spec(self) -> SimulationSpec:
+        """The parsed :class:`SimulationSpec` of this job."""
+        return SimulationSpec.from_dict(self.spec)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in TERMINAL_JOB_STATES
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON document of this job (the persisted form and the API view)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        allowed = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ValidationError(f"job document has unknown fields {unknown}")
+        missing = [name for name in ("id", "spec", "spec_hash") if name not in data]
+        if missing:
+            raise ValidationError(f"job document is missing fields {missing}")
+        return cls(**dict(data))
+
+
+class JobStore:
+    """Directory-backed, thread-safe store of every job the service has seen.
+
+    All mutation goes through the store so that (a) every change lands on
+    disk atomically before it is visible to other threads and (b) state
+    transitions are checked: a job can only run from ``queued``, only finish
+    from ``running``, and terminal states are final.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory).expanduser()
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValidationError(
+                f"job store path {self.directory} exists but is not a directory"
+            )
+        self._jobs_dir = self.directory / _JOBS_SUBDIR
+        self._results_dir = self.directory / _RESULTS_SUBDIR
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self.dedup_hits = 0
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        if not self._jobs_dir.is_dir():
+            return
+        for path in sorted(self._jobs_dir.glob("*.json")):
+            try:
+                job = Job.from_dict(load_json(path))
+            except (ValidationError, ValueError) as exc:
+                _logger.warning("job store: skipping unreadable %s (%s)", path.name, exc)
+                continue
+            self._jobs[job.id] = job
+
+    def _persist(self, job: Job) -> None:
+        dump_json(self._jobs_dir / f"{job.id}.json", job.to_dict())
+
+    def result_dir(self, job: Job) -> Path:
+        """Directory the job's :meth:`RunResult.save` output lives in.
+
+        Keyed by spec hash, not job id: results are content-addressed, so a
+        re-submission after a failure lands in the same place.
+        """
+        return self._results_dir / job.spec_hash
+
+    # ------------------------------------------------------------------ #
+    # submission / lookup
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        spec: SimulationSpec | Mapping[str, Any],
+        *,
+        timeout_seconds: float | None = None,
+        max_attempts: int = 2,
+        max_queued: int | None = None,
+    ) -> tuple[Job, bool]:
+        """Submit a spec; returns ``(job, created)``.
+
+        ``created`` is ``False`` when the submission deduplicated onto an
+        existing queued/running/done job.  ``max_queued`` bounds the queue:
+        a *new* job beyond the bound raises :class:`JobQueueFullError`
+        (dedup hits never count against the bound — they add no work).
+        """
+        if not isinstance(spec, SimulationSpec):
+            spec = SimulationSpec.from_dict(spec)
+        document = spec.to_dict()
+        spec_hash = spec.spec_hash()
+        with self._lock:
+            existing = self._find_attachable(spec_hash)
+            if existing is not None:
+                if existing.spec != document:
+                    raise SpecConflictError(
+                        f"spec hash {spec_hash} is already taken by job "
+                        f"{existing.id} with a different document",
+                        detail={"job_id": existing.id, "spec_hash": spec_hash},
+                    )
+                existing.submissions += 1
+                self.dedup_hits += 1
+                self._persist(existing)
+                _logger.info(
+                    "job %s: dedup hit for spec %s (%d submissions)",
+                    existing.id,
+                    spec_hash,
+                    existing.submissions,
+                )
+                return existing, False
+            if max_queued is not None:
+                depth = sum(1 for job in self._jobs.values() if job.state == "queued")
+                if depth >= max_queued:
+                    raise JobQueueFullError(
+                        f"job queue is full ({depth}/{max_queued} queued); retry later",
+                        detail={"queued": depth, "max_queued": max_queued},
+                    )
+            job = Job(
+                id=uuid.uuid4().hex[:12],
+                spec=document,
+                spec_hash=spec_hash,
+                created_at=time.time(),
+                timeout_seconds=timeout_seconds,
+                max_attempts=max_attempts,
+                progress={
+                    "done_cases": 0,
+                    "total_cases": len(spec.resolved_cases()),
+                },
+            )
+            self._jobs[job.id] = job
+            self._persist(job)
+            _logger.info("job %s: queued spec %s", job.id, spec_hash)
+            return job, True
+
+    def _find_attachable(self, spec_hash: str) -> Job | None:
+        """The queued/running/done job a duplicate submission attaches to."""
+        candidates = [
+            job
+            for job in self._jobs.values()
+            if job.spec_hash == spec_hash and job.state in ("queued", "running", "done")
+        ]
+        # Prefer the newest: an old done job and a fresh queued one cannot
+        # coexist for the same hash, but be deterministic anyway.
+        return max(candidates, key=lambda job: job.created_at, default=None)
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no job with id {job_id!r}")
+        return job
+
+    def list(self) -> list[Job]:
+        """All jobs, oldest first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.created_at)
+
+    # ------------------------------------------------------------------ #
+    # state transitions
+    # ------------------------------------------------------------------ #
+    def _transition(self, job: Job, state: str, allowed_from: Iterable[str]) -> None:
+        if job.state not in allowed_from:
+            raise JobStateError(
+                f"job {job.id} is {job.state}; cannot transition to {state}",
+                detail={"job_id": job.id, "state": job.state},
+            )
+        job.state = state
+        self._persist(job)
+
+    def mark_running(self, job_id: str) -> Job | None:
+        """Claim a queued job for execution; ``None`` if it left the queue.
+
+        Returning ``None`` (instead of raising) lets a worker race a
+        cancellation gracefully: the queue entry is then simply dropped.
+        """
+        with self._lock:
+            job = self.get(job_id)
+            if job.state != "queued":
+                return None
+            job.started_at = time.time()
+            self._transition(job, "running", ("queued",))
+            return job
+
+    def record_execution(self, job: Job) -> None:
+        with self._lock:
+            job.executions += 1
+            job.attempts += 1
+            self._persist(job)
+
+    def update_progress(self, job: Job, done: int, total: int) -> None:
+        with self._lock:
+            job.progress = {"done_cases": int(done), "total_cases": int(total)}
+            self._persist(job)
+
+    def mark_done(self, job: Job, result_summary: Mapping[str, Any]) -> None:
+        with self._lock:
+            job.finished_at = time.time()
+            job.result_summary = dict(result_summary)
+            job.error = None
+            self._transition(job, "done", ("running",))
+            _logger.info("job %s: done", job.id)
+
+    def mark_failed(self, job: Job, exc: BaseException) -> None:
+        with self._lock:
+            job.finished_at = time.time()
+            job.error = error_envelope(exc)["error"]
+            self._transition(job, "failed", ("queued", "running"))
+            _logger.warning("job %s: failed (%s)", job.id, exc)
+
+    def mark_cancelled(self, job: Job) -> None:
+        with self._lock:
+            job.finished_at = time.time()
+            self._transition(job, "cancelled", ("queued", "running"))
+            _logger.info("job %s: cancelled", job.id)
+
+    def request_cancel(self, job_id: str) -> Job:
+        """Cancel a queued job immediately; flag a running one to stop.
+
+        Terminal jobs raise :class:`JobStateError` (there is nothing left to
+        cancel).
+        """
+        with self._lock:
+            job = self.get(job_id)
+            if job.state == "queued":
+                self.mark_cancelled(job)
+            elif job.state == "running":
+                job.cancel_requested = True
+                self._persist(job)
+                _logger.info("job %s: cancellation requested", job.id)
+            else:
+                raise JobStateError(
+                    f"job {job.id} is already {job.state}; nothing to cancel",
+                    detail={"job_id": job.id, "state": job.state},
+                )
+            return job
+
+    def requeue(self, job: Job) -> None:
+        """Return a (stale) running job to the queue (restart recovery)."""
+        with self._lock:
+            job.started_at = None
+            job.cancel_requested = False
+            self._transition(job, "queued", ("running",))
+
+    def recover(self) -> list[Job]:
+        """Re-queue work interrupted by a crash; returns the jobs to enqueue.
+
+        Jobs found ``running`` (the server died mid-solve) go back to
+        ``queued`` without consuming an attempt; the returned list is every
+        queued job, oldest first, ready to feed the worker pool.
+        """
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state == "running":
+                    _logger.warning(
+                        "job %s: found running at startup; re-queueing", job.id
+                    )
+                    self.requeue(job)
+            return [job for job in self.list() if job.state == "queued"]
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, Any]:
+        """Queue statistics: per-state counts, depth and dedup accounting."""
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            return {
+                "jobs": states,
+                "queue_depth": states["queued"],
+                "total_jobs": len(self._jobs),
+                "dedup_hits": self.dedup_hits,
+            }
+
+
+__all__ = [
+    "JOB_STATES",
+    "ACTIVE_JOB_STATES",
+    "TERMINAL_JOB_STATES",
+    "Job",
+    "JobStore",
+]

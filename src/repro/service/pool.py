@@ -1,0 +1,256 @@
+"""Rate-limited worker pool executing queued jobs over one warm ROM cache.
+
+The pool is the service's execution half: N daemon threads (bounded by
+:func:`~repro.utils.parallel.resolve_jobs`, the package-wide ``--jobs``
+semantics) drain a FIFO queue of job ids and run each spec through
+:func:`repro.api.run`.  All workers share **one** process-wide
+:class:`~repro.rom.cache.ROMCache`, so concurrent jobs with the same
+geometry/mesh/materials hit warm factorizations instead of rebuilding the
+local stage — the whole point of serving simulations from a long-lived
+process.
+
+Per-job control is cooperative, threaded through the executor's progress
+callback at case boundaries:
+
+* **cancellation** — ``DELETE /v1/jobs/{id}`` sets ``cancel_requested``; the
+  worker raises :class:`~repro.errors.JobCancelledError` at the next case.
+* **timeout** — a job whose wall clock exceeds its ``timeout_seconds`` raises
+  :class:`~repro.errors.JobTimeoutError` and fails with HTTP 504 semantics.
+* **retry** — unexpected (non-:class:`~repro.errors.ReproError`) failures are
+  transient by definition and retried with exponential backoff up to the
+  job's ``max_attempts``; taxonomy errors (invalid spec, backend problems)
+  are permanent and fail immediately.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.api.result import RunResult
+from repro.errors import (
+    JobCancelledError,
+    JobTimeoutError,
+    ReproError,
+)
+from repro.rom.cache import ROMCache
+from repro.service.jobs import Job, JobStore
+from repro.utils.logging import get_logger
+from repro.utils.parallel import available_cpus, resolve_jobs
+
+_logger = get_logger("service.pool")
+
+_ROM_CACHE_SUBDIR = "rom_cache"
+
+#: Queue sentinel telling a worker thread to exit.
+_STOP = None
+
+
+def _default_workers() -> int:
+    """Concurrent jobs by default: half the CPUs, at least one.
+
+    Each job may itself fan its local stage out over a thread pool, so
+    running one job per CPU would oversubscribe; half keeps latency low for
+    small queues without starving intra-job parallelism.
+    """
+    return max(1, available_cpus() // 2)
+
+
+def default_run_summary(result: RunResult) -> dict[str, Any]:
+    """The lightweight solve-statistics view stored on a finished job."""
+    return {
+        "num_cases": len(result.cases),
+        "num_case_groups": result.num_case_groups,
+        "backends_used": result.backends_used,
+        "array_backend": result.array_backend,
+        "local_stage_seconds": result.local_stage_seconds,
+        "global_stage_seconds": result.total_global_stage_seconds,
+        "peak_von_mises": max(
+            (case.peak_von_mises for case in result.cases), default=0.0
+        ),
+        "rom_cache": result.rom_cache_stats,
+    }
+
+
+class WorkerPool:
+    """N worker threads draining the job queue over one shared ROM cache.
+
+    Parameters
+    ----------
+    store:
+        The persistent :class:`JobStore` (owns all job state).
+    workers:
+        Concurrent jobs (``--jobs`` semantics; default: half the CPUs).
+    rom_cache:
+        Shared cache instance or directory.  Defaults to ``rom_cache/``
+        inside the store directory, so restarts stay warm.
+    retry_backoff_seconds:
+        Base of the exponential backoff between transient-failure retries.
+    run_fn:
+        The executor invoked per attempt, ``run_fn(spec, rom_cache=...,
+        progress=...) -> RunResult``.  Defaults to :func:`repro.api.run`;
+        tests inject doubles to count invocations or simulate failures.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        *,
+        workers: int | None = None,
+        rom_cache: "ROMCache | str | Path | None" = None,
+        retry_backoff_seconds: float = 0.5,
+        run_fn: Callable[..., RunResult] | None = None,
+    ) -> None:
+        self.store = store
+        self.workers = (
+            resolve_jobs(workers) if workers is not None else _default_workers()
+        )
+        if rom_cache is None:
+            rom_cache = store.directory / _ROM_CACHE_SUBDIR
+        self.rom_cache = ROMCache.from_spec(rom_cache)
+        self.retry_backoff_seconds = float(retry_backoff_seconds)
+        self._run_fn = run_fn
+        self._queue: "queue.Queue[str | None]" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "WorkerPool":
+        """Start the worker threads and re-enqueue recovered jobs."""
+        if self._started:
+            return self
+        self._started = True
+        for job in self.store.recover():
+            self._queue.put(job.id)
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        _logger.info(
+            "worker pool: %d worker(s), rom cache at %s",
+            self.workers,
+            self.rom_cache.directory,
+        )
+        return self
+
+    def shutdown(self, wait: bool = True, timeout: float | None = 10.0) -> None:
+        """Stop the workers (running jobs finish their current attempt)."""
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        self._threads.clear()
+        self._started = False
+
+    def enqueue(self, job: Job) -> None:
+        """Feed a freshly queued job to the workers."""
+        self._queue.put(job.id)
+
+    @property
+    def busy_workers(self) -> int:
+        """Workers currently executing a job (for utilization stats)."""
+        with self._busy_lock:
+            return self._busy
+
+    def stats(self) -> dict[str, Any]:
+        """Pool utilization plus the shared ROM cache statistics."""
+        busy = self.busy_workers
+        return {
+            "workers": self.workers,
+            "busy_workers": busy,
+            "utilization": busy / self.workers if self.workers else 0.0,
+            "rom_cache": self.rom_cache.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _worker(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is _STOP:
+                return
+            with self._busy_lock:
+                self._busy += 1
+            try:
+                self._run_job(job_id)
+            except Exception:  # pragma: no cover - belt and braces
+                _logger.exception("worker: unexpected error running job %s", job_id)
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+
+    def _run_job(self, job_id: str) -> None:
+        job = self.store.mark_running(job_id)
+        if job is None:  # cancelled (or otherwise gone) while queued
+            return
+        spec = job.build_spec()
+        deadline = (
+            job.started_at + job.timeout_seconds
+            if job.timeout_seconds is not None and job.started_at is not None
+            else None
+        )
+
+        def progress(done: int, total: int, case_name: str) -> None:
+            self.store.update_progress(job, done, total)
+            # Re-read our own record: cancel_requested is flipped by the
+            # HTTP thread on the same Job instance the store holds.
+            if self.store.get(job.id).cancel_requested:
+                raise JobCancelledError(
+                    f"job {job.id} cancelled after case {case_name!r}"
+                )
+            if deadline is not None and time.time() > deadline:
+                raise JobTimeoutError(
+                    f"job {job.id} exceeded its timeout of "
+                    f"{job.timeout_seconds:g}s after case {case_name!r}",
+                    detail={"timeout_seconds": job.timeout_seconds},
+                )
+
+        run_fn = self._run_fn
+        if run_fn is None:
+            from repro.api import run as run_fn  # late import: heavy module
+
+        while True:
+            self.store.record_execution(job)
+            try:
+                result = run_fn(spec, rom_cache=self.rom_cache, progress=progress)
+                result.save(self.store.result_dir(job))
+                self.store.mark_done(job, default_run_summary(result))
+                return
+            except JobCancelledError:
+                self.store.mark_cancelled(job)
+                return
+            except (JobTimeoutError, ReproError) as exc:
+                # Timeouts and taxonomy errors (invalid spec, backend
+                # misconfiguration) are permanent: retrying cannot help.
+                self.store.mark_failed(job, exc)
+                return
+            except Exception as exc:
+                if job.attempts >= job.max_attempts:
+                    self.store.mark_failed(job, exc)
+                    return
+                backoff = self.retry_backoff_seconds * 2 ** (job.attempts - 1)
+                _logger.warning(
+                    "job %s: attempt %d/%d failed (%s); retrying in %.2fs",
+                    job.id,
+                    job.attempts,
+                    job.max_attempts,
+                    exc,
+                    backoff,
+                )
+                time.sleep(backoff)
+
+
+__all__ = ["WorkerPool", "default_run_summary"]

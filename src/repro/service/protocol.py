@@ -1,0 +1,104 @@
+"""Wire protocol of the ``/v1`` API: one envelope in, one envelope out.
+
+Success responses are the versioned response envelope of
+:mod:`repro.api.envelope` (kinds ``job``, ``job_list``, ``run_result``,
+``stats``, ``health``); error responses are the taxonomy's
+``{"error": {"code", "message", "detail"}}`` shape from
+:mod:`repro.errors`.  Both the server and the typed client import from here,
+so the two sides cannot drift apart.
+
+``POST /v1/jobs`` accepts either a bare spec document or the submission
+envelope ``{"spec": {...}, "timeout_seconds": ..., "max_attempts": ...}``
+(:func:`parse_submission`); a bare document is recognised by the absence of
+a ``"spec"`` key, which is not a valid spec field.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.api.envelope import wrap
+from repro.errors import SpecError
+from repro.service.jobs import Job
+
+#: Default TCP port of ``repro serve`` (and the CLI client's default URL).
+DEFAULT_PORT = 8642
+
+#: Current API version prefix; bumped only on breaking wire changes.
+API_PREFIX = "/v1"
+
+
+def encode_document(document: Any) -> bytes:
+    """Canonical JSON encoding of a wire document (stable key order)."""
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_document(payload: bytes, path: str = "request body") -> Any:
+    """Parse a JSON request/response body, raising :class:`SpecError` on junk."""
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SpecError(f"{path}: invalid JSON ({exc})") from exc
+
+
+def parse_submission(document: Any) -> tuple[Any, dict[str, Any]]:
+    """Split a ``POST /v1/jobs`` body into (spec document, job options).
+
+    Returns the raw spec document (validated later by
+    :meth:`SimulationSpec.from_dict`) plus the submission options
+    (``timeout_seconds``, ``max_attempts``) with basic type checks applied.
+    """
+    if not isinstance(document, Mapping):
+        raise SpecError(
+            f"request body: expected a JSON object, got {type(document).__name__}"
+        )
+    if "spec" not in document:
+        return document, {}
+    allowed = ("spec", "timeout_seconds", "max_attempts")
+    unknown = sorted(set(document) - set(allowed))
+    if unknown:
+        raise SpecError(
+            f"request body.{unknown[0]}: unknown field "
+            f"(allowed fields: {list(allowed)})"
+        )
+    options: dict[str, Any] = {}
+    timeout = document.get("timeout_seconds")
+    if timeout is not None:
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            raise SpecError(
+                f"request body.timeout_seconds: expected a number, got {timeout!r}"
+            )
+        options["timeout_seconds"] = float(timeout)
+    attempts = document.get("max_attempts")
+    if attempts is not None:
+        if isinstance(attempts, bool) or not isinstance(attempts, int):
+            raise SpecError(
+                f"request body.max_attempts: expected an integer, got {attempts!r}"
+            )
+        options["max_attempts"] = attempts
+    return document["spec"], options
+
+
+def job_envelope(job: Job, *, deduplicated: bool | None = None) -> dict[str, Any]:
+    """The ``kind="job"`` response envelope of one job."""
+    data: dict[str, Any] = {"job": job.to_dict()}
+    if deduplicated is not None:
+        data["deduplicated"] = deduplicated
+    return wrap("job", data)
+
+
+def job_list_envelope(jobs: list[Job]) -> dict[str, Any]:
+    """The ``kind="job_list"`` response envelope of the whole queue."""
+    return wrap("job_list", {"jobs": [job.to_dict() for job in jobs]})
+
+
+__all__ = [
+    "API_PREFIX",
+    "DEFAULT_PORT",
+    "encode_document",
+    "decode_document",
+    "parse_submission",
+    "job_envelope",
+    "job_list_envelope",
+]

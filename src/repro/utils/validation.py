@@ -6,9 +6,9 @@ from typing import Sequence
 
 import numpy as np
 
-
-class ValidationError(ValueError):
-    """Raised when a user-supplied parameter is outside its valid domain."""
+# Deprecated alias: ValidationError now lives in the unified exception
+# taxonomy (repro.errors); importing it from here keeps working.
+from repro.errors import ValidationError
 
 
 def check_positive(name: str, value: float) -> float:
