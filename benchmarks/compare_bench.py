@@ -1,0 +1,100 @@
+"""CI benchmark gate: compare a freshly emitted BENCH_8.json to the baseline.
+
+Compares only the ``gate`` block of each run — the machine-stable metrics
+(reduced DoFs, shard grid, Schwarz iteration counts, equivalence and
+memory-ordering booleans).  Wall-clock seconds and raw RSS bytes are
+recorded in the artifacts for humans but deliberately NOT gated: they vary
+across runners far more than any real regression would.
+
+Numeric gate values must agree within ``--tolerance`` (relative, default
+±30%); booleans and strings must match exactly.  Runs present in only one
+artifact are skipped (the committed baseline includes paper-scale rungs CI
+does not re-run), but at least one run must overlap or the gate fails as
+vacuous.
+
+Usage::
+
+    python benchmarks/compare_bench.py NEW.json BASELINE.json [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare_gates(current: dict, baseline: dict, tolerance: float) -> list[str]:
+    """All gate violations between two BENCH documents (empty = pass)."""
+    problems: list[str] = []
+    if current.get("bench_schema_version") != baseline.get("bench_schema_version"):
+        problems.append(
+            f"bench_schema_version changed: "
+            f"{baseline.get('bench_schema_version')} -> "
+            f"{current.get('bench_schema_version')}"
+        )
+        return problems
+
+    current_runs = current.get("runs", {})
+    baseline_runs = baseline.get("runs", {})
+    shared = sorted(set(current_runs) & set(baseline_runs))
+    if not shared:
+        problems.append(
+            f"no overlapping runs to compare (current: {sorted(current_runs)}, "
+            f"baseline: {sorted(baseline_runs)}); the gate would be vacuous"
+        )
+        return problems
+
+    for run in shared:
+        current_gate = current_runs[run].get("gate", {})
+        baseline_gate = baseline_runs[run].get("gate", {})
+        for key in sorted(set(current_gate) & set(baseline_gate)):
+            new, old = current_gate[key], baseline_gate[key]
+            if isinstance(old, bool) or isinstance(old, str):
+                if new != old:
+                    problems.append(f"{run}.{key}: {old!r} -> {new!r}")
+            elif isinstance(old, (int, float)):
+                limit = tolerance * max(abs(old), 1e-12)
+                if abs(new - old) > limit:
+                    problems.append(
+                        f"{run}.{key}: {old} -> {new} "
+                        f"(drift {abs(new - old):.4g} > ±{tolerance:.0%})"
+                    )
+            elif new != old:
+                problems.append(f"{run}.{key}: {old!r} -> {new!r}")
+        for key in sorted(set(baseline_gate) - set(current_gate)):
+            problems.append(f"{run}.{key}: present in baseline, missing from current")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly emitted BENCH_8.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_8.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="relative tolerance for numeric gate metrics (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    problems = compare_gates(current, baseline, args.tolerance)
+    if problems:
+        print(f"benchmark gate FAILED ({len(problems)} violation(s)):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    shared = sorted(set(current.get("runs", {})) & set(baseline.get("runs", {})))
+    print(
+        f"benchmark gate passed: {len(shared)} run(s) within "
+        f"±{args.tolerance:.0%} ({', '.join(shared)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from repro.api.spec import (
     MeshSpec,
     OutputSpec,
     ResolvedCase,
+    ShardSpec,
     SimulationSpec,
     SolverSpec,
     SpecError,
@@ -40,6 +41,7 @@ __all__ = [
     "MaterialOverride",
     "MaterialsSpec",
     "MeshSpec",
+    "ShardSpec",
     "SolverSpec",
     "LoadCase",
     "SubModelSpec",

@@ -22,9 +22,12 @@ are thin adapters over :func:`execute_cases`).  The executor
 from __future__ import annotations
 
 import os
+import uuid
 from contextlib import nullcontext
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
 
 from repro.backend import (
     ARRAY_BACKEND_ENV_VAR,
@@ -42,10 +45,12 @@ from repro.rom.cache import ROMCache
 from repro.rom.global_stage import GlobalStage
 from repro.utils.logging import get_logger
 from repro.utils.memory import PeakMemoryTracker
-from repro.utils.timing import Timer
+from repro.utils.serialization import load_npz_bundle, save_npz_bundle
+from repro.utils.timing import StageTimings, Timer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.baselines.coarse_model import CoarsePackageSolution
+    from repro.api.spec import ShardSpec
     from repro.rom.workflow import MoreStressSimulator, SimulationResult
 
 _logger = get_logger("api.executor")
@@ -58,6 +63,8 @@ def execute_cases(
     boundary: str = "clamped",
     displacement_fields=None,
     batched: bool | None = None,
+    shard: "ShardSpec | None" = None,
+    heartbeat: Callable[[], None] | None = None,
 ) -> "list[SimulationResult]":
     """Solve one layout for one or many thermal loads (the shared engine).
 
@@ -68,7 +75,15 @@ def execute_cases(
     plain per-case solve, ``batched=True`` the factorize-once
     :meth:`GlobalStage.solve_many` path; the default batches whenever more
     than one load is given.
+
+    ``shard`` opts the global stage into the out-of-core sharded solver
+    (:func:`repro.rom.shard.solve_sharded`) — in auto mode (budget only) the
+    planner may still decide the monolithic path fits, in which case the
+    paths above apply unchanged.  ``heartbeat`` is called at every shard
+    boundary of a sharded solve; an exception raised from it aborts the run
+    (the job service's cancellation hook).
     """
+    from repro.rom.shard import plan_for, solve_sharded
     from repro.rom.workflow import SimulationResult
 
     loads = [
@@ -77,6 +92,16 @@ def execute_cases(
     ]
     if batched is None:
         batched = len(loads) > 1
+    plan = None
+    if shard is not None:
+        plan = plan_for(
+            layout.rows,
+            layout.cols,
+            simulator.scheme.num_element_dofs,
+            grid=shard.grid,
+            overlap=shard.overlap,
+            memory_budget_bytes=shard.memory_budget_bytes,
+        )
     # The simulator's array backend (if any) is active for ROM construction
     # and the global solve alike; the worker pool of the local stage is
     # thread-based, so workers share the activation.
@@ -95,8 +120,32 @@ def execute_cases(
             solver_options=simulator.solver_options,
         )
         timer = Timer()
+        shard_stats: "list[dict | None]" = [None] * len(loads)
         with PeakMemoryTracker() as tracker, timer:
-            if batched:
+            if plan is not None:
+                # Out-of-core path: each load runs the Schwarz iteration over
+                # the same shard plan (the plan depends only on the layout).
+                solutions = []
+                for load_index, load in enumerate(loads):
+                    displacement_field = displacement_fields
+                    if isinstance(displacement_field, (list, tuple)):
+                        displacement_field = displacement_field[load_index]
+                    solution, stats = solve_sharded(
+                        stage,
+                        layout,
+                        load,
+                        plan=plan,
+                        tolerance=shard.tolerance,
+                        max_iterations=shard.max_iterations,
+                        max_inflight=shard.max_inflight,
+                        jobs=simulator.jobs,
+                        boundary_condition=boundary,
+                        displacement_field=displacement_field,
+                        heartbeat=heartbeat,
+                    )
+                    solutions.append(solution)
+                    shard_stats[load_index] = stats.to_dict()
+            elif batched:
                 solutions = stage.solve_many(
                     layout,
                     loads,
@@ -123,8 +172,9 @@ def execute_cases(
             local_stage_seconds=simulator.local_stage_seconds,
             global_stage_seconds=timer.elapsed,
             peak_memory_bytes=tracker.peak_bytes,
+            shard_stats=stats_entry,
         )
-        for solution in solutions
+        for solution, stats_entry in zip(solutions, shard_stats)
     ]
 
 
@@ -138,6 +188,134 @@ def _group_cases(
             (index, case)
         )
     return list(groups.items())
+
+
+def _group_checkpoint_path(directory: Path, group_index: int) -> Path:
+    return directory / f"group{group_index}.npz"
+
+
+def _save_group_checkpoint(
+    directory: Path,
+    group_index: int,
+    spec_hash: str,
+    members: "list[tuple[int, ResolvedCase]]",
+    results: "list[SimulationResult]",
+) -> None:
+    """Persist one solved group's displacements + diagnostics atomically.
+
+    A marker that cannot be written (full disk, read-only directory) only
+    costs the resume capability, never the run — hence the broad guard.
+    """
+    arrays = {
+        f"u_{index}": result.solution.nodal_displacement
+        for index, result in enumerate(results)
+    }
+    metadata = {
+        "spec_hash": spec_hash,
+        "group": group_index,
+        "cases": [
+            {"name": case.name, "delta_t": case.delta_t} for _, case in members
+        ],
+        "results": [
+            {
+                "local_stage_seconds": result.local_stage_seconds,
+                "global_stage_seconds": result.global_stage_seconds,
+                "peak_memory_bytes": result.peak_memory_bytes,
+                "shard": result.shard_stats,
+                "solver_stats": (
+                    None
+                    if result.solution.solver_stats is None
+                    else vars(result.solution.solver_stats)
+                ),
+            }
+            for result in results
+        ],
+    }
+    path = _group_checkpoint_path(directory, group_index)
+    temporary = directory / f".tmp-{uuid.uuid4().hex}.npz"
+    try:
+        save_npz_bundle(temporary, arrays, metadata=metadata)
+        os.replace(temporary, path)
+    except OSError as exc:
+        _logger.warning("executor: could not write checkpoint %s (%s)", path, exc)
+    finally:
+        temporary.unlink(missing_ok=True)
+
+
+def _restore_group_checkpoint(
+    directory: Path,
+    group_index: int,
+    spec_hash: str,
+    members: "list[tuple[int, ResolvedCase]]",
+    simulator: "MoreStressSimulator",
+    layout: TSVArrayLayout,
+) -> "list[SimulationResult] | None":
+    """Rebuild a group's results from its completion marker, or ``None``.
+
+    Any mismatch (different spec, different member cases, stale DoF count)
+    or unreadable bundle degrades to a fresh solve — a checkpoint can speed
+    a resume up but never change its result.
+    """
+    from repro.fem.backends import SolveStats
+    from repro.rom.global_dofs import GlobalDofManager
+    from repro.rom.global_stage import GlobalSolution
+    from repro.rom.workflow import SimulationResult
+
+    path = _group_checkpoint_path(directory, group_index)
+    if not path.exists():
+        return None
+    try:
+        arrays, metadata = load_npz_bundle(path)
+    except Exception:
+        _logger.warning("executor: unreadable checkpoint %s; re-solving", path)
+        return None
+    expected_cases = [
+        {"name": case.name, "delta_t": case.delta_t} for _, case in members
+    ]
+    if (
+        metadata.get("spec_hash") != spec_hash
+        or metadata.get("cases") != expected_cases
+    ):
+        _logger.warning("executor: stale checkpoint %s; re-solving", path)
+        return None
+    infos = metadata.get("results") or []
+    if len(infos) != len(members):
+        return None
+    include_dummy = layout.num_dummy_blocks > 0
+    roms = simulator.build_roms(include_dummy=include_dummy)
+    manager = GlobalDofManager(layout, simulator.scheme)
+    results: "list[SimulationResult]" = []
+    for index, ((_, case), info) in enumerate(zip(members, infos)):
+        u = arrays.get(f"u_{index}")
+        if u is None or u.shape != (manager.num_global_dofs,):
+            _logger.warning("executor: stale checkpoint %s; re-solving", path)
+            return None
+        stats_info = info.get("solver_stats")
+        try:
+            stats = None if stats_info is None else SolveStats(**stats_info)
+        except TypeError:
+            return None
+        solution = GlobalSolution(
+            layout=layout,
+            roms=roms,
+            materials=simulator.materials,
+            manager=manager,
+            nodal_displacement=np.asarray(u, dtype=float),
+            delta_t=case.delta_t,
+            timings=StageTimings(),
+            solver_stats=stats,
+        )
+        results.append(
+            SimulationResult(
+                solution=solution,
+                local_stage_seconds=float(info.get("local_stage_seconds", 0.0)),
+                global_stage_seconds=float(info.get("global_stage_seconds", 0.0)),
+                peak_memory_bytes=int(info.get("peak_memory_bytes", 0)),
+                shard_stats=info.get("shard"),
+            )
+        )
+    _logger.info("executor: resumed group %d from %s", group_index, path)
+    return results
 
 
 def _requested_array_backend(override: str | None, spec_value: str) -> str:
@@ -167,6 +345,7 @@ def run(
     coarse_solution: "CoarsePackageSolution | None" = None,
     array_backend: str | None = None,
     progress: Callable[[int, int, str], None] | None = None,
+    checkpoint_dir: "str | Path | None" = None,
 ) -> RunResult:
     """Execute a :class:`SimulationSpec` and return its :class:`RunResult`.
 
@@ -201,7 +380,17 @@ def run(
         result (including any requested post-processing) is materialized.
         The job service threads its status updates — and cooperative
         cancellation/timeout, which raise from inside the callback — through
-        here; an exception raised by the callback aborts the run.
+        here; an exception raised by the callback aborts the run.  Sharded
+        solves additionally invoke the callback at every shard boundary, so
+        a cancel lands between shards instead of waiting out the whole case.
+    checkpoint_dir:
+        Optional directory of per-group completion markers.  Each solved
+        case group writes one atomically-renamed ``groupN.npz`` there; a
+        re-run of the same spec with the same ``checkpoint_dir`` skips the
+        already-solved groups (a killed long sweep resumes instead of
+        restarting).  Markers from a different spec, or stale ones, are
+        ignored and re-solved — resuming can never change the result.  The
+        caller owns cleanup of the directory after a successful run.
     """
     from repro.baselines.coarse_model import CoarseChipletModel
     from repro.geometry.package import ChipletPackage
@@ -245,12 +434,16 @@ def run(
 
     cases = spec.resolved_cases()
     groups = _group_cases(cases)
+    spec_hash = spec.spec_hash()
     _logger.info(
         "executor: %d case(s) in %d group(s) [spec %s]",
         len(cases),
         len(groups),
-        spec.spec_hash(),
+        spec_hash,
     )
+    if checkpoint_dir is not None:
+        checkpoint_dir = Path(checkpoint_dir)
+        checkpoint_dir.mkdir(parents=True, exist_ok=True)
 
     case_results: list[CaseResult | None] = [None] * len(cases)
     # Shared across all cases of the run (the ROMs are, too): the geometric
@@ -276,14 +469,34 @@ def run(
             displacement_fields = fields[0] if len(fields) == 1 else fields
 
         delta_ts = [case.delta_t for _, case in members]
-        results = execute_cases(
-            simulator,
-            layout,
-            delta_ts,
-            boundary=boundary,
-            displacement_fields=displacement_fields,
-            batched=len(members) > 1,
-        )
+        results = None
+        if checkpoint_dir is not None:
+            results = _restore_group_checkpoint(
+                checkpoint_dir, group_index, spec_hash, members, simulator, layout
+            )
+        if results is None:
+            heartbeat = None
+            if progress is not None:
+                group_name = members[0][1].name
+
+                def heartbeat(_name: str = group_name) -> None:
+                    done = sum(1 for entry in case_results if entry is not None)
+                    progress(done, len(cases), _name)
+
+            results = execute_cases(
+                simulator,
+                layout,
+                delta_ts,
+                boundary=boundary,
+                displacement_fields=displacement_fields,
+                batched=len(members) > 1,
+                shard=spec.solver.shard,
+                heartbeat=heartbeat,
+            )
+            if checkpoint_dir is not None:
+                _save_group_checkpoint(
+                    checkpoint_dir, group_index, spec_hash, members, results
+                )
         for (case_index, case), result in zip(members, results):
             stats = result.solution.solver_stats
             field_data = None
@@ -318,6 +531,7 @@ def run(
                 peak_memory_bytes=result.peak_memory_bytes,
                 solver_method=stats.method if stats is not None else "unknown",
                 group=group_index,
+                shard=result.shard_stats,
                 field_data=field_data,
                 hotspots=hotspot_report,
                 simulation=result,

@@ -72,6 +72,10 @@ class CaseResult:
     solver_method:
         The solver/backed actually used (from :class:`SolveStats`), e.g.
         ``"gmres"`` or ``"direct-batched"``.
+    shard:
+        Sharded-solve provenance (shard grid, overlap, Schwarz iterations,
+        per-shard peak RSS — :meth:`repro.rom.shard.ShardRunStats.to_dict`)
+        when the case ran out-of-core, otherwise ``None``.
     field_data:
         The full volumetric :class:`~repro.postprocess.fields.ArrayField` of
         this case when the spec requested one (:class:`OutputSpec`),
@@ -97,6 +101,7 @@ class CaseResult:
     peak_memory_bytes: int
     solver_method: str
     group: int
+    shard: dict[str, Any] | None = None
     field_data: ArrayField | None = field(default=None, repr=False)
     hotspots: HotspotReport | None = field(default=None, repr=False)
     simulation: "SimulationResult | None" = field(default=None, repr=False)
@@ -125,6 +130,7 @@ class CaseResult:
             "global_stage_seconds": self.global_stage_seconds,
             "peak_memory_bytes": self.peak_memory_bytes,
             "solver_method": self.solver_method,
+            "shard": self.shard,
             "field_shape": [int(n) for n in self.von_mises.shape],
             "peak_von_mises": self.peak_von_mises,
             "mean_von_mises": self.mean_von_mises,
@@ -365,6 +371,7 @@ class RunResult:
                     peak_memory_bytes=int(entry["peak_memory_bytes"]),
                     solver_method=entry["solver_method"],
                     group=int(entry["group"]),
+                    shard=entry.get("shard"),
                     field_data=field_data,
                     hotspots=hotspots,
                 )

@@ -42,6 +42,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import shutil
 import sys
 import time
 from pathlib import Path
@@ -57,6 +58,7 @@ from repro.api import (
     MeshSpec,
     OutputSpec,
     RunResult,
+    ShardSpec,
     SimulationSpec,
     SolverSpec,
     SpecError,
@@ -336,6 +338,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "the spec has none) and write the exports + hotspot report to DIR"
         ),
     )
+    run.add_argument(
+        "--shards",
+        metavar="RxC",
+        default=None,
+        help=(
+            "solve the global stage out-of-core on an RxC shard grid "
+            "(e.g. 4x4); overrides the spec's solver.shard grid"
+        ),
+    )
+    run.add_argument(
+        "--shard-overlap",
+        type=int,
+        metavar="N",
+        default=None,
+        dest="shard_overlap",
+        help="overlap ring width in blocks between neighbouring shards (default 2)",
+    )
+    run.add_argument(
+        "--memory-budget",
+        type=int,
+        metavar="BYTES",
+        default=None,
+        dest="memory_budget",
+        help=(
+            "assembly memory budget enabling auto-sharding: the layout is "
+            "sharded only when the monolithic assembly estimate exceeds it"
+        ),
+    )
 
     export = subparsers.add_parser(
         "export",
@@ -411,6 +441,17 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="shared ROM cache directory (default: STORE/rom_cache)",
+    )
+    serve.add_argument(
+        "--rom-cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        dest="rom_cache_max_bytes",
+        help=(
+            "LRU size cap of the shared ROM cache; least-recently-used "
+            "bundles are evicted past it (default: unbounded)"
+        ),
     )
     serve.add_argument(
         "--job-timeout",
@@ -560,6 +601,13 @@ def _print_run_summary(result: RunResult, verbose_cache: bool = True) -> None:
         print(f"case {case.name:14s}: {rows}x{cols} TSVs{where}, delta_t={case.delta_t:g} degC")
         print(f"  global stage    : {case.global_stage_seconds:.3f} s ({case.solver_method})")
         print(f"  reduced DoFs    : {case.num_global_dofs}")
+        if case.shard is not None:
+            grid = case.shard.get("grid") or ["?", "?"]
+            print(
+                f"  shards          : {grid[0]}x{grid[1]} "
+                f"(overlap {case.shard.get('overlap')}, "
+                f"{case.shard.get('iterations')} Schwarz iteration(s))"
+            )
         print(f"  peak von Mises  : {vm.max():.1f} MPa")
     print(f"local stage       : {result.local_stage_seconds:.2f} s (shared)")
     print(f"execution groups  : {result.num_case_groups} (one factorisation each)")
@@ -648,6 +696,45 @@ def _command_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard_grid(text: str) -> tuple[int, int]:
+    """Parse the ``--shards RxC`` grid syntax (e.g. ``4x4``, ``2X3``)."""
+    parts = text.lower().split("x")
+    try:
+        rows, cols = (int(part) for part in parts)
+    except ValueError:
+        raise SpecError(
+            f"--shards expects RxC (e.g. 4x4), got {text!r}"
+        ) from None
+    return rows, cols
+
+
+def _shard_spec_from_args(
+    args: argparse.Namespace, spec: SimulationSpec
+) -> ShardSpec | None:
+    """The spec's shard section with any CLI overrides applied."""
+    if (
+        args.shards is None
+        and args.shard_overlap is None
+        and args.memory_budget is None
+    ):
+        return spec.solver.shard
+    kwargs: dict[str, Any] = (
+        {
+            field.name: getattr(spec.solver.shard, field.name)
+            for field in dataclasses.fields(ShardSpec)
+        }
+        if spec.solver.shard is not None
+        else {}
+    )
+    if args.shards is not None:
+        kwargs["grid"] = _parse_shard_grid(args.shards)
+    if args.shard_overlap is not None:
+        kwargs["overlap"] = args.shard_overlap
+    if args.memory_budget is not None:
+        kwargs["memory_budget_bytes"] = args.memory_budget
+    return ShardSpec(**kwargs)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     path = Path(args.spec_path)
     if not path.exists():
@@ -655,16 +742,25 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     try:
         spec = SimulationSpec.from_json(path.read_text())
-    except SpecError as exc:
+        shard = _shard_spec_from_args(args, spec)
+    except (SpecError, ValidationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if shard is not spec.solver.shard:
+        spec = dataclasses.replace(
+            spec, solver=dataclasses.replace(spec.solver, shard=shard)
+        )
     if args.export_field and spec.output is None:
         spec = dataclasses.replace(spec, output=OutputSpec())
+    # With --save the run checkpoints per case group under the destination,
+    # so re-running a killed sweep with the same flags resumes mid-spec.
+    checkpoint_dir = Path(args.save) / "checkpoint" if args.save else None
     result = run_simulation_spec(
         spec,
         rom_cache=args.rom_cache,
         jobs=args.jobs,
         array_backend=args.array_backend,
+        checkpoint_dir=checkpoint_dir,
     )
     json_mode = args.json_path == "-"
     if not json_mode:
@@ -676,6 +772,9 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"manifest          : {args.json_path}")
     if args.save:
         result.save(args.save)
+        if checkpoint_dir is not None:
+            # The saved result supersedes the resume markers.
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
         if not json_mode:
             print(f"full result       : {args.save}")
     if args.export_field:
@@ -760,6 +859,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_queued=args.max_queued,
         rom_cache=args.rom_cache,
+        rom_cache_max_bytes=args.rom_cache_max_bytes,
         default_timeout_seconds=args.job_timeout,
     )
     server.start()

@@ -8,7 +8,10 @@ happens once per block *kind*, blocks are evaluated independently (fanned out
 with :func:`~repro.utils.parallel.parallel_map`) and each block writes its
 values straight into the preallocated output grid.  Peak memory is therefore
 the output grid plus O(one block's fine field) per worker — independent of
-the array size, which is what makes 100x100-array exports tractable.
+the array size, which is what makes 100x100-array exports tractable.  A
+sharded solve (:mod:`repro.shard`) streams through this path unchanged: the
+Schwarz iteration produces the same global DoF vector as the monolithic
+solve, so reconstruction never sees shards — only per-block DoFs.
 
 The resulting :class:`ArrayField` is a structured (rectilinear) point grid:
 1-D global coordinate arrays ``x``/``y``/``z`` and point data of shape

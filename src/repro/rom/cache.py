@@ -90,17 +90,26 @@ class ROMCache:
     directory:
         Cache directory (created on first write).  Point several processes at
         the same directory to share one cache.
-    hits, misses:
-        Lookup statistics of this cache instance.  Counter updates are
-        serialised by an internal lock so one cache instance can back many
-        concurrent readers (the job service shares a single process-wide
-        cache across its worker pool); :meth:`stats` takes one consistent
-        snapshot of both counters.
+    max_bytes:
+        Optional size cap.  When the bundles exceed it after a write, the
+        least-recently-used entries (bundle mtime; hits touch it) are evicted
+        until the cache fits again.  ``None`` (the default) never evicts.
+        Eviction is multi-process-safe: a concurrent reader of an evicted
+        bundle degrades to a miss and rebuilds.
+    hits, misses, evictions, evicted_bytes:
+        Lookup/eviction statistics of this cache instance.  Counter updates
+        are serialised by an internal lock so one cache instance can back
+        many concurrent readers (the job service shares a single
+        process-wide cache across its worker pool); :meth:`stats` takes one
+        consistent snapshot of the counters.
     """
 
     directory: str | Path
+    max_bytes: int | None = None
     hits: int = field(default=0, init=False)
     misses: int = field(default=0, init=False)
+    evictions: int = field(default=0, init=False)
+    evicted_bytes: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory).expanduser()
@@ -108,6 +117,12 @@ class ROMCache:
             raise ValidationError(
                 f"ROM cache path {self.directory} exists but is not a directory"
             )
+        if self.max_bytes is not None:
+            self.max_bytes = int(self.max_bytes)
+            if self.max_bytes <= 0:
+                raise ValidationError(
+                    f"max_bytes must be positive or None, got {self.max_bytes}"
+                )
         self._stats_lock = threading.Lock()
 
     def _record(self, hit: bool) -> None:
@@ -117,17 +132,35 @@ class ROMCache:
             else:
                 self.misses += 1
 
-    def stats(self) -> dict[str, float | int]:
-        """A consistent snapshot of the lookup statistics of this instance."""
+    def stats(self) -> dict[str, float | int | None]:
+        """A consistent snapshot of the lookup/eviction statistics."""
         with self._stats_lock:
             hits, misses = self.hits, self.misses
+            evictions, evicted_bytes = self.evictions, self.evicted_bytes
         lookups = hits + misses
         return {
             "hits": hits,
             "misses": misses,
             "hit_rate": (hits / lookups) if lookups else 0.0,
             "entries": len(self),
+            "bytes": self.total_bytes(),
+            "max_bytes": self.max_bytes,
+            "evictions": evictions,
+            "evicted_bytes": evicted_bytes,
         }
+
+    def total_bytes(self) -> int:
+        """Total size of the cached bundles on disk."""
+        directory = Path(self.directory)
+        if not directory.is_dir():
+            return 0
+        total = 0
+        for path in directory.glob("rom_*.npz"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue  # concurrently evicted by another process
+        return total
 
     def _bundle_path(self, key: str) -> Path:
         """The single key-to-path mapping shared by all lookups and writes."""
@@ -218,6 +251,10 @@ class ROMCache:
             return None
         rom.check_materials(materials)
         self._record(hit=True)
+        try:
+            os.utime(path)  # LRU touch: hits protect an entry from eviction
+        except OSError:
+            pass  # evicted or pruned concurrently; the ROM is already loaded
         _logger.info("ROM cache hit: %s", path.name)
         return rom
 
@@ -248,7 +285,47 @@ class ROMCache:
             finally:
                 temporary.unlink(missing_ok=True)
         _logger.info("ROM cache store: %s", path.name)
+        self._evict_over_budget(keep=path)
         return path
+
+    def _evict_over_budget(self, keep: Path) -> None:
+        """Evict least-recently-used bundles until the cache fits ``max_bytes``.
+
+        The just-written bundle (``keep``) is never evicted — a cap smaller
+        than one bundle still serves the current run.  Unlinking with
+        ``missing_ok`` keeps concurrent evictors of a shared directory safe,
+        and POSIX semantics keep concurrent *readers* safe: an open bundle
+        stays readable, an unopened one degrades to a miss.
+        """
+        if self.max_bytes is None:
+            return
+        entries = []
+        for path in Path(self.directory).glob("rom_*.npz"):
+            if path == keep:
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        try:
+            keep_size = keep.stat().st_size
+        except OSError:
+            keep_size = 0
+        total = keep_size + sum(size for _, size, _ in entries)
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            with self._stats_lock:
+                self.evictions += 1
+                self.evicted_bytes += size
+            _logger.info(
+                "ROM cache evict: %s (%d bytes, cache over %d-byte cap)",
+                path.name, size, self.max_bytes,
+            )
 
     def clear(self) -> int:
         """Delete all cached bundles; returns the number of files removed."""
@@ -268,12 +345,18 @@ class ROMCache:
 
     @classmethod
     def from_spec(
-        cls, spec: "ROMCache | str | Path | None"
+        cls,
+        spec: "ROMCache | str | Path | None",
+        max_bytes: int | None = None,
     ) -> "ROMCache | None":
-        """Coerce a directory path (or pass through a cache / ``None``)."""
+        """Coerce a directory path (or pass through a cache / ``None``).
+
+        ``max_bytes`` applies the size cap when coercing a path; an existing
+        :class:`ROMCache` instance passes through with its own cap untouched.
+        """
         if spec is None or isinstance(spec, ROMCache):
             return spec
-        return cls(spec)
+        return cls(spec, max_bytes=max_bytes)
 
 
 __all__ = ["ROMCache", "rom_cache_key"]

@@ -1,0 +1,638 @@
+"""Out-of-core sharded global stage for wafer-scale arrays (ROADMAP item 3).
+
+The monolithic global stage assembles one sparse reduced system for the whole
+array and factorises it in one go; for 500x500+ arrays (millions of reduced
+DoFs) the COO triplets plus the factorisation no longer fit memory.  This
+module trades one big factorisation for many small ones:
+
+* :func:`plan_shards` partitions the block grid into a ``grid_rows x
+  grid_cols`` tiling of contiguous *core* tiles, each expanded by an
+  ``overlap`` ring of blocks on its interior sides (the overlap width is
+  guided by the ROM boundary-mode decay: with the top/bottom faces clamped a
+  boundary perturbation decays laterally like ``exp(-pi * d / height)``, i.e.
+  roughly one block per decade at the paper's 15/50 pitch/height ratio).
+* :func:`solve_sharded` runs a restricted additive Schwarz iteration over the
+  tiles: each shard assembles and factorises only its own sub-system, with
+  displacements *prescribed* on its artificial boundary from the current
+  global accumulator (the same prescribed-boundary idiom the sub-modeling
+  path uses), then writes back the DoFs of its core region.  Cores partition
+  the array exactly, so each free DoF is written by exactly one shard and the
+  sweep is deterministic (Jacobi-style: all shards of an iteration read the
+  same frozen accumulator).
+* Convergence is certified against the *monolithic* equations: the true
+  residual of the lifted global system is evaluated by streaming the
+  element-level matvec in bounded chunks (never materialising the global
+  matrix), so a converged sharded solve satisfies exactly the system
+  ``GlobalStage.solve`` would have factorised — to the requested tolerance.
+
+Peak memory is the global accumulator plus the in-flight window of shard
+systems (``max_inflight`` shards assembled/factorised concurrently via
+:func:`~repro.utils.parallel.parallel_map`); every shard's triplets and
+factorisation are dropped as soon as its core values are scattered back.
+
+Cancellation is cooperative: ``heartbeat`` is invoked between shard batches,
+so a service job can abort a wafer-scale solve at shard granularity without
+waiting for the full sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.backend import active_array_backend_name
+from repro.fem.boundary import DirichletBC, lift_system
+from repro.fem.solver import FactorizedOperator, SolveStats
+from repro.geometry.array_layout import TSVArrayLayout
+from repro.rom.global_dofs import GlobalDofManager
+from repro.rom.global_stage import GlobalSolution, GlobalStage, _check_rom_consistency
+from repro.utils.logging import get_logger
+from repro.utils.memory import _read_rss_bytes
+from repro.utils.parallel import parallel_map, resolve_jobs
+from repro.utils.timing import StageTimings
+from repro.utils.validation import ValidationError
+
+_logger = get_logger("rom.shard")
+
+#: Default width of the overlap ring, in blocks.  Two blocks of overlap give
+#: a per-iteration contraction of roughly exp(-2 * pi * pitch / height) at
+#: the paper geometry — a handful of iterations to 1e-10.
+DEFAULT_OVERLAP = 2
+
+#: Default relative residual tolerance of the Schwarz iteration.
+DEFAULT_TOLERANCE = 1e-10
+
+#: Default cap on Schwarz iterations.
+DEFAULT_MAX_ITERATIONS = 100
+
+#: Memory (bytes) one assembled triplet entry costs: two int64 index arrays
+#: plus one float64 data array.
+_TRIPLET_BYTES = 24
+
+#: Budget (bytes) of the temporary arrays of one streamed-residual chunk.
+_RESIDUAL_CHUNK_BYTES = 8_000_000
+
+
+# --------------------------------------------------------------------------- #
+# planning
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardTile:
+    """One tile of a shard plan.
+
+    ``core_rows``/``core_cols`` are the half-open block ranges this tile
+    *owns* (cores partition the layout exactly); ``solve_rows``/``solve_cols``
+    are the core expanded by the overlap ring on interior sides — the region
+    the tile actually assembles and solves.
+    """
+
+    index: tuple[int, int]
+    core_rows: tuple[int, int]
+    core_cols: tuple[int, int]
+    solve_rows: tuple[int, int]
+    solve_cols: tuple[int, int]
+
+    @property
+    def num_solve_blocks(self) -> int:
+        return (self.solve_rows[1] - self.solve_rows[0]) * (
+            self.solve_cols[1] - self.solve_cols[0]
+        )
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A tiling of one layout into overlapping shards."""
+
+    layout_shape: tuple[int, int]
+    grid: tuple[int, int]
+    overlap: int
+    tiles: tuple[ShardTile, ...]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.tiles)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "layout_shape": list(self.layout_shape),
+            "grid": list(self.grid),
+            "overlap": self.overlap,
+            "num_shards": self.num_shards,
+        }
+
+
+def _split_ranges(total: int, parts: int) -> list[tuple[int, int]]:
+    """Half-open, contiguous, near-equal ranges covering ``[0, total)``."""
+    boundaries = np.linspace(0, total, parts + 1).round().astype(int)
+    return [
+        (int(boundaries[i]), int(boundaries[i + 1]))
+        for i in range(parts)
+        if boundaries[i + 1] > boundaries[i]
+    ]
+
+
+def plan_shards(
+    rows: int, cols: int, grid: Sequence[int], overlap: int = DEFAULT_OVERLAP
+) -> ShardPlan:
+    """Partition a ``rows x cols`` block grid into overlapping shards.
+
+    ``grid`` is ``(grid_rows, grid_cols)``; each dimension must not exceed
+    the layout (a shard needs at least one core block).  ``overlap`` is the
+    ring width in blocks added to each core on sides that face another tile
+    (never past the array edge).
+    """
+    grid = tuple(int(g) for g in grid)
+    if len(grid) != 2:
+        raise ValidationError(f"shard grid must be (rows, cols), got {grid!r}")
+    grid_rows, grid_cols = grid
+    if grid_rows < 1 or grid_cols < 1:
+        raise ValidationError(f"shard grid entries must be >= 1, got {grid!r}")
+    if overlap < 1:
+        raise ValidationError(f"shard overlap must be >= 1, got {overlap}")
+    if grid_rows > rows or grid_cols > cols:
+        raise ValidationError(
+            f"shard grid {grid_rows}x{grid_cols} exceeds the "
+            f"{rows}x{cols} layout (each shard needs a core block)"
+        )
+    row_ranges = _split_ranges(rows, grid_rows)
+    col_ranges = _split_ranges(cols, grid_cols)
+    tiles = []
+    for tile_row, (cr0, cr1) in enumerate(row_ranges):
+        for tile_col, (cc0, cc1) in enumerate(col_ranges):
+            tiles.append(
+                ShardTile(
+                    index=(tile_row, tile_col),
+                    core_rows=(cr0, cr1),
+                    core_cols=(cc0, cc1),
+                    solve_rows=(max(0, cr0 - overlap), min(rows, cr1 + overlap)),
+                    solve_cols=(max(0, cc0 - overlap), min(cols, cc1 + overlap)),
+                )
+            )
+    return ShardPlan(
+        layout_shape=(rows, cols),
+        grid=(len(row_ranges), len(col_ranges)),
+        overlap=int(overlap),
+        tiles=tuple(tiles),
+    )
+
+
+def estimate_assembly_bytes(rows: int, cols: int, dofs_per_block: int) -> int:
+    """Rough peak-allocation estimate of a monolithic assembly of the layout.
+
+    The COO triplets (24 bytes per entry) dominate; converting to CSR holds
+    a second copy of comparable size, hence the factor two.
+    """
+    return 2 * int(rows) * int(cols) * int(dofs_per_block) ** 2 * _TRIPLET_BYTES
+
+
+def plan_for(
+    rows: int,
+    cols: int,
+    dofs_per_block: int,
+    *,
+    grid: Sequence[int] | None = None,
+    overlap: int = DEFAULT_OVERLAP,
+    memory_budget_bytes: int | None = None,
+) -> ShardPlan | None:
+    """Decide whether (and how) to shard a layout.
+
+    An explicit ``grid`` always shards (clamped to the layout if it is too
+    fine).  Otherwise ``memory_budget_bytes`` drives the auto mode: if the
+    monolithic assembly estimate fits the budget the answer is ``None``
+    (solve monolithically); if not, the smallest square shard grid whose
+    per-shard estimate fits half the budget (headroom for the accumulator
+    and the in-flight window) is chosen.
+    """
+    if grid is not None:
+        clamped = (min(int(grid[0]), rows), min(int(grid[1]), cols))
+        if clamped != tuple(int(g) for g in grid):
+            _logger.info(
+                "shard grid %s clamped to %s for a %dx%d layout",
+                tuple(grid), clamped, rows, cols,
+            )
+        return plan_shards(rows, cols, clamped, overlap)
+    if memory_budget_bytes is None:
+        return None
+    monolithic = estimate_assembly_bytes(rows, cols, dofs_per_block)
+    if monolithic <= memory_budget_bytes:
+        return None
+    chosen = min(rows, cols)
+    for candidate in range(2, min(rows, cols) + 1):
+        shard_rows = math.ceil(rows / candidate) + 2 * overlap
+        shard_cols = math.ceil(cols / candidate) + 2 * overlap
+        if (
+            estimate_assembly_bytes(shard_rows, shard_cols, dofs_per_block)
+            <= memory_budget_bytes // 2
+        ):
+            chosen = candidate
+            break
+    _logger.info(
+        "auto-sharding %dx%d layout on a %dx%d grid "
+        "(monolithic estimate %d bytes > budget %d bytes)",
+        rows, cols, chosen, chosen, monolithic, memory_budget_bytes,
+    )
+    return plan_shards(rows, cols, (chosen, chosen), overlap)
+
+
+# --------------------------------------------------------------------------- #
+# run statistics / provenance
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardRunStats:
+    """Provenance of one sharded solve (lands in the run manifest)."""
+
+    grid: tuple[int, int]
+    overlap: int
+    num_shards: int
+    iterations: int
+    converged: bool
+    residual: float
+    tolerance: float
+    max_inflight: int
+    shard_dofs: tuple[int, ...]
+    shard_peak_rss_bytes: tuple[int, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "grid": list(self.grid),
+            "overlap": self.overlap,
+            "num_shards": self.num_shards,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "residual": self.residual,
+            "tolerance": self.tolerance,
+            "max_inflight": self.max_inflight,
+            "shard_dofs": list(self.shard_dofs),
+            "shard_peak_rss_bytes": list(self.shard_peak_rss_bytes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardRunStats":
+        return cls(
+            grid=tuple(data["grid"]),
+            overlap=int(data["overlap"]),
+            num_shards=int(data["num_shards"]),
+            iterations=int(data["iterations"]),
+            converged=bool(data["converged"]),
+            residual=float(data["residual"]),
+            tolerance=float(data["tolerance"]),
+            max_inflight=int(data["max_inflight"]),
+            shard_dofs=tuple(int(v) for v in data["shard_dofs"]),
+            shard_peak_rss_bytes=tuple(int(v) for v in data["shard_peak_rss_bytes"]),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the Schwarz executor
+# --------------------------------------------------------------------------- #
+@dataclass
+class _ShardProblem:
+    """Everything the per-shard worker needs that is iteration-invariant."""
+
+    tile: ShardTile
+    sub_layout: TSVArrayLayout
+    parent_dofs: np.ndarray  # shard dof -> parent dof (length = shard dofs)
+    bc_mask: np.ndarray  # shard dofs with prescribed values (bool)
+    owned_mask: np.ndarray  # shard dofs this tile writes back (bool)
+    num_dofs: int
+
+
+def _build_shard_problem(
+    tile: ShardTile,
+    layout: TSVArrayLayout,
+    parent: GlobalDofManager,
+    scheme,
+    constrained_mask: np.ndarray,
+) -> _ShardProblem:
+    """Sub-layout, DoF mapping and boundary classification of one tile."""
+    nx, ny, _ = scheme.nodes_per_axis
+    (r0, r1), (c0, c1) = tile.solve_rows, tile.solve_cols
+    sub_layout = TSVArrayLayout(
+        tsv=layout.tsv,
+        kinds=layout.kinds[r0:r1, c0:c1].copy(),
+        origin=layout.block_origin(r0, c0),
+    )
+    manager = GlobalDofManager(sub_layout, scheme)
+    keys = manager.node_keys()
+    offset = np.array([c0 * (nx - 1), r0 * (ny - 1), 0], dtype=np.int64)
+    parent_nodes = parent.lookup_node_ids(keys + offset)
+    parent_dofs = np.empty(3 * parent_nodes.size, dtype=np.int64)
+    parent_dofs[0::3] = 3 * parent_nodes
+    parent_dofs[1::3] = 3 * parent_nodes + 1
+    parent_dofs[2::3] = 3 * parent_nodes + 2
+
+    # Artificial boundary: shard faces created by the cut, not by the array
+    # edge.  Displacements there come from the global accumulator.
+    i_max = (c1 - c0) * (nx - 1)
+    j_max = (r1 - r0) * (ny - 1)
+    artificial = (
+        ((keys[:, 0] == 0) & (c0 > 0))
+        | ((keys[:, 0] == i_max) & (c1 < layout.cols))
+        | ((keys[:, 1] == 0) & (r0 > 0))
+        | ((keys[:, 1] == j_max) & (r1 < layout.rows))
+    )
+    bc_mask = constrained_mask[parent_dofs] | np.repeat(artificial, 3)
+
+    # Ownership: global node keys inside the half-open core range (closed at
+    # the array edge, so edge nodes are owned too).  Cores are disjoint, so
+    # every global DoF is written by exactly one tile.
+    gi = keys[:, 0] + offset[0]
+    gj = keys[:, 1] + offset[1]
+    (cr0, cr1), (cc0, cc1) = tile.core_rows, tile.core_cols
+    own_i = (gi >= cc0 * (nx - 1)) & (
+        (gi < cc1 * (nx - 1)) | ((cc1 == layout.cols) & (gi == cc1 * (nx - 1)))
+    )
+    own_j = (gj >= cr0 * (ny - 1)) & (
+        (gj < cr1 * (ny - 1)) | ((cr1 == layout.rows) & (gj == cr1 * (ny - 1)))
+    )
+    owned_mask = np.repeat(own_i & own_j, 3)
+    return _ShardProblem(
+        tile=tile,
+        sub_layout=sub_layout,
+        parent_dofs=parent_dofs,
+        bc_mask=bc_mask,
+        owned_mask=owned_mask,
+        num_dofs=manager.num_global_dofs,
+    )
+
+
+def _solve_shard(
+    problem: _ShardProblem,
+    stage: GlobalStage,
+    scheme,
+    delta_t: float,
+    accumulator: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Assemble, factorise and solve one shard against the frozen accumulator.
+
+    The shard's DoF numbering is rebuilt here (and dropped on return) so the
+    resident footprint of a shard between iterations is just its
+    :class:`_ShardProblem` index arrays, never an assembled system.
+    """
+    manager = GlobalDofManager(problem.sub_layout, scheme)
+    rows, cols, data, rhs = stage.scatter_contributions(
+        manager, problem.sub_layout, delta_t
+    )
+    matrix = sp.coo_matrix(
+        (data, (rows, cols)), shape=(problem.num_dofs, problem.num_dofs)
+    ).tocsr()
+    matrix.sum_duplicates()
+    del rows, cols, data
+    bc = DirichletBC(
+        dofs=np.nonzero(problem.bc_mask)[0],
+        values=accumulator[problem.parent_dofs[problem.bc_mask]],
+    )
+    lifted_matrix, lifted_rhs = lift_system(matrix, rhs, bc)
+    solution = FactorizedOperator(lifted_matrix).solve(lifted_rhs)
+    owned = problem.owned_mask
+    return problem.parent_dofs[owned], solution[owned], _read_rss_bytes() or 0
+
+
+def solve_sharded(
+    stage: GlobalStage,
+    layout: TSVArrayLayout,
+    delta_t: float,
+    *,
+    plan: ShardPlan | None = None,
+    grid: Sequence[int] | None = None,
+    overlap: int = DEFAULT_OVERLAP,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    max_inflight: int | None = None,
+    jobs: int | None = None,
+    boundary_condition: DirichletBC | str = "clamped",
+    displacement_field=None,
+    heartbeat: Callable[[], None] | None = None,
+) -> tuple[GlobalSolution, ShardRunStats]:
+    """Solve a layout out-of-core via overlapping shards (additive Schwarz).
+
+    Equivalent to ``GlobalStage.solve`` (same lifted equations, certified by
+    a streamed true-residual check) but never assembles or factorises the
+    monolithic system: peak memory is the global accumulator plus
+    ``max_inflight`` shard systems.
+
+    Parameters
+    ----------
+    stage:
+        The :class:`GlobalStage` holding the ROMs/materials (its
+        ``solver_options`` are not used — shards always factorise directly).
+    plan, grid, overlap:
+        Either a prebuilt :class:`ShardPlan` or a ``(rows, cols)`` shard grid
+        plus overlap ring width to plan with.
+    tolerance:
+        Relative true-residual tolerance of the Schwarz iteration.
+    max_iterations:
+        Hard cap on Schwarz iterations; exceeding it returns the best
+        accumulator with ``converged=False`` in the stats (mirroring the
+        iterative ``LinearSolver`` behaviour).
+    max_inflight:
+        Shards assembled/factorised concurrently (the memory-bounding
+        window).  Defaults to the resolved ``jobs`` worker count.
+    boundary_condition, displacement_field:
+        Same semantics as :meth:`GlobalStage.solve`.
+    heartbeat:
+        Invoked between shard batches; raise from it to abort the solve at a
+        shard boundary (service cancellation).
+
+    Returns
+    -------
+    (GlobalSolution, ShardRunStats)
+        A genuine :class:`GlobalSolution` over the full layout (downstream
+        reconstruction and export work unchanged) plus shard provenance.
+    """
+    _check_rom_consistency(stage.roms, layout, stage.materials)
+    scheme = next(iter(stage.roms.values())).scheme
+    if plan is None:
+        if grid is None:
+            raise ValidationError("solve_sharded needs a plan or a shard grid")
+        plan = plan_shards(layout.rows, layout.cols, grid, overlap)
+    if plan.layout_shape != (layout.rows, layout.cols):
+        raise ValidationError(
+            f"shard plan is for a {plan.layout_shape[0]}x{plan.layout_shape[1]} "
+            f"layout, got {layout.rows}x{layout.cols}"
+        )
+    if not (0.0 < tolerance < 1.0):
+        raise ValidationError(f"tolerance must be in (0, 1), got {tolerance}")
+    if max_iterations < 1:
+        raise ValidationError(f"max_iterations must be >= 1, got {max_iterations}")
+    delta_t = float(delta_t)
+
+    timings = StageTimings()
+    with timings.measure("numbering"):
+        manager = GlobalDofManager(layout, scheme)
+    num_dofs = manager.num_global_dofs
+
+    with timings.measure("boundary_conditions"):
+        if isinstance(boundary_condition, DirichletBC):
+            bc = boundary_condition
+        elif boundary_condition == "clamped":
+            bc = GlobalStage.clamped_top_bottom_bc(manager)
+        elif boundary_condition == "submodel":
+            if displacement_field is None:
+                raise ValidationError(
+                    "displacement_field is required for the 'submodel' BC"
+                )
+            bc = GlobalStage.prescribed_boundary_bc(manager, displacement_field)
+        else:
+            raise ValidationError(
+                "boundary_condition must be 'clamped', 'submodel' or a DirichletBC"
+            )
+    constrained_mask = np.zeros(num_dofs, dtype=bool)
+    constrained_mask[bc.dofs] = True
+
+    # Iteration-invariant data of the streamed residual check: per-kind
+    # element matrices and the block gather map — O(num_blocks * n), far
+    # below the assembled system.
+    kind_order = list(stage.roms)
+    kind_codes = {kind: code for code, kind in enumerate(kind_order)}
+    codes = np.fromiter(
+        (kind_codes[kind] for kind in layout.kinds.ravel()),
+        dtype=np.int64,
+        count=layout.num_blocks,
+    )
+    stiffness = np.stack(
+        [stage.roms[kind].element_stiffness for kind in kind_order]
+    )
+    rhs_stack = np.stack(
+        [stage.roms[kind].element_rhs(delta_t) for kind in kind_order]
+    )
+    block_dofs = manager.all_block_dof_ids()  # (num_blocks, n)
+    n = manager.dofs_per_block
+    load = np.bincount(
+        block_dofs.ravel(), weights=rhs_stack[codes].ravel(), minlength=num_dofs
+    )
+    lifted_load = load.copy()
+    lifted_load[bc.dofs] = bc.values
+    load_norm = float(np.linalg.norm(lifted_load)) or 1.0
+
+    def relative_residual(u: np.ndarray) -> tuple[float, float]:
+        """True residual of the lifted global system, streamed in chunks.
+
+        Returns ``(relative, absolute)`` where the relative residual is the
+        backward error ``||r|| / (||f|| + sqrt(sum_b ||K_b u_b||^2))``.  The
+        per-block product norm in the denominator matters: with large
+        prescribed boundary displacements (sub-modeling) the row-wise
+        products dwarf the net load, and the naive ``||r|| / ||f||`` plateaus
+        at the cancellation floor — orders of magnitude above any reasonable
+        tolerance even for an exact direct solve.
+        """
+        acc = np.zeros(num_dofs)
+        contrib_sq = 0.0
+        chunk = max(1, _RESIDUAL_CHUNK_BYTES // (n * n * 8))
+        for start in range(0, layout.num_blocks, chunk):
+            dofs = block_dofs[start : start + chunk]
+            ku = np.einsum("bij,bj->bi", stiffness[codes[start : start + chunk]], u[dofs])
+            contrib_sq += float((ku * ku).sum())
+            acc += np.bincount(dofs.ravel(), weights=ku.ravel(), minlength=num_dofs)
+        residual = load - acc
+        residual[bc.dofs] = bc.values - u[bc.dofs]
+        absolute = float(np.linalg.norm(residual))
+        return absolute / (load_norm + math.sqrt(contrib_sq)), absolute
+
+    with timings.measure("planning"):
+        problems = [
+            _build_shard_problem(tile, layout, manager, scheme, constrained_mask)
+            for tile in plan.tiles
+        ]
+    num_shards = len(problems)
+    window = (
+        int(max_inflight)
+        if max_inflight is not None
+        else min(resolve_jobs(jobs), num_shards)
+    )
+    window = max(1, min(window, num_shards))
+
+    u = np.zeros(num_dofs)
+    u[bc.dofs] = bc.values
+    shard_rss = [0] * num_shards
+    iterations = 0
+    residual, residual_norm = relative_residual(u)
+    converged = residual <= tolerance
+
+    with timings.measure("solve"):
+        while not converged and iterations < max_iterations:
+            if heartbeat is not None:
+                heartbeat()
+            frozen = u  # all shards of this sweep read the same accumulator
+            u = u.copy()
+            for start in range(0, num_shards, window):
+                batch = problems[start : start + window]
+                results = parallel_map(
+                    lambda problem: _solve_shard(
+                        problem, stage, scheme, delta_t, frozen
+                    ),
+                    batch,
+                    jobs=window,
+                )
+                for offset, (dofs, values, rss) in enumerate(results):
+                    u[dofs] = values
+                    index = start + offset
+                    shard_rss[index] = max(shard_rss[index], int(rss))
+                if heartbeat is not None:
+                    heartbeat()
+            iterations += 1
+            residual, residual_norm = relative_residual(u)
+            converged = residual <= tolerance
+
+    if not converged:
+        _logger.warning(
+            "sharded solve did not converge: relative residual %.3e > %.3e "
+            "after %d iterations (%dx%d grid, overlap %d)",
+            residual, tolerance, iterations, *plan.grid, plan.overlap,
+        )
+    _logger.info(
+        "sharded global stage: %dx%d blocks on a %dx%d shard grid "
+        "(overlap %d, window %d), %d iterations, residual %.2e",
+        layout.rows, layout.cols, *plan.grid, plan.overlap, window,
+        iterations, residual,
+    )
+
+    stats = SolveStats(
+        method=f"shard-{plan.grid[0]}x{plan.grid[1]}-schwarz",
+        iterations=iterations,
+        residual_norm=residual_norm,
+        converged=converged,
+        unknowns=num_dofs,
+        array_backend=active_array_backend_name(),
+    )
+    solution = GlobalSolution(
+        layout=layout,
+        roms=stage.roms,
+        materials=stage.materials,
+        manager=manager,
+        nodal_displacement=u,
+        delta_t=delta_t,
+        timings=timings,
+        solver_stats=stats,
+    )
+    run_stats = ShardRunStats(
+        grid=plan.grid,
+        overlap=plan.overlap,
+        num_shards=num_shards,
+        iterations=iterations,
+        converged=converged,
+        residual=residual,
+        tolerance=float(tolerance),
+        max_inflight=window,
+        shard_dofs=tuple(problem.num_dofs for problem in problems),
+        shard_peak_rss_bytes=tuple(shard_rss),
+    )
+    return solution, run_stats
+
+
+__all__ = [
+    "DEFAULT_MAX_ITERATIONS",
+    "DEFAULT_OVERLAP",
+    "DEFAULT_TOLERANCE",
+    "ShardPlan",
+    "ShardRunStats",
+    "ShardTile",
+    "estimate_assembly_bytes",
+    "plan_for",
+    "plan_shards",
+    "solve_sharded",
+]

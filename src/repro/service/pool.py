@@ -24,7 +24,9 @@ callback at case boundaries:
 
 from __future__ import annotations
 
+import inspect
 import queue
+import shutil
 import threading
 import time
 from pathlib import Path
@@ -59,6 +61,20 @@ def _default_workers() -> int:
     return max(1, available_cpus() // 2)
 
 
+def _accepts_keyword(fn: Callable[..., Any], name: str) -> bool:
+    """Whether ``fn`` can be called with keyword argument ``name``."""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables: assume not
+        return False
+    if name in parameters:
+        return True
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
 def default_run_summary(result: RunResult) -> dict[str, Any]:
     """The lightweight solve-statistics view stored on a finished job."""
     return {
@@ -87,12 +103,22 @@ class WorkerPool:
     rom_cache:
         Shared cache instance or directory.  Defaults to ``rom_cache/``
         inside the store directory, so restarts stay warm.
+    rom_cache_max_bytes:
+        Optional LRU size cap applied when the pool constructs the cache
+        from a directory (an explicitly passed :class:`ROMCache` instance
+        keeps its own cap) — a long-lived shard fleet then cannot grow the
+        cache without bound.
     retry_backoff_seconds:
         Base of the exponential backoff between transient-failure retries.
     run_fn:
         The executor invoked per attempt, ``run_fn(spec, rom_cache=...,
         progress=...) -> RunResult``.  Defaults to :func:`repro.api.run`;
         tests inject doubles to count invocations or simulate failures.
+        When the callable accepts a ``checkpoint_dir`` keyword (the real
+        executor does), each attempt runs with per-group checkpoints under
+        the job's result directory, so a crashed worker's retry — or a
+        re-queued job after a service restart — resumes at the last
+        completed case group instead of restarting.
     """
 
     def __init__(
@@ -101,6 +127,7 @@ class WorkerPool:
         *,
         workers: int | None = None,
         rom_cache: "ROMCache | str | Path | None" = None,
+        rom_cache_max_bytes: int | None = None,
         retry_backoff_seconds: float = 0.5,
         run_fn: Callable[..., RunResult] | None = None,
     ) -> None:
@@ -110,7 +137,7 @@ class WorkerPool:
         )
         if rom_cache is None:
             rom_cache = store.directory / _ROM_CACHE_SUBDIR
-        self.rom_cache = ROMCache.from_spec(rom_cache)
+        self.rom_cache = ROMCache.from_spec(rom_cache, max_bytes=rom_cache_max_bytes)
         self.retry_backoff_seconds = float(retry_backoff_seconds)
         self._run_fn = run_fn
         self._queue: "queue.Queue[str | None]" = queue.Queue()
@@ -222,11 +249,25 @@ class WorkerPool:
         if run_fn is None:
             from repro.api import run as run_fn  # late import: heavy module
 
+        # Per-group checkpoints under the job's result directory let a retry
+        # (or a recovered job after a restart) resume mid-sweep.  Injected
+        # test doubles may not accept the keyword, so it is offered only to
+        # callables that do.
+        kwargs: dict[str, Any] = {}
+        checkpoint_dir = self.store.result_dir(job) / "checkpoint"
+        if _accepts_keyword(run_fn, "checkpoint_dir"):
+            kwargs["checkpoint_dir"] = checkpoint_dir
+
         while True:
             self.store.record_execution(job)
             try:
-                result = run_fn(spec, rom_cache=self.rom_cache, progress=progress)
+                result = run_fn(
+                    spec, rom_cache=self.rom_cache, progress=progress, **kwargs
+                )
                 result.save(self.store.result_dir(job))
+                # The saved result supersedes the markers; a fresh submission
+                # of the same spec must not resume from them.
+                shutil.rmtree(checkpoint_dir, ignore_errors=True)
                 self.store.mark_done(job, default_run_summary(result))
                 return
             except JobCancelledError:

@@ -142,8 +142,9 @@ class JobServer:
     max_queued:
         Bound on the number of *queued* jobs; submissions beyond it are
         rejected with HTTP 429 (dedup hits are always accepted).
-    rom_cache, run_fn, retry_backoff_seconds:
-        Forwarded to :class:`WorkerPool`.
+    rom_cache, rom_cache_max_bytes, run_fn, retry_backoff_seconds:
+        Forwarded to :class:`WorkerPool` (``rom_cache_max_bytes`` caps the
+        shared cache with LRU eviction, surfaced in ``/stats``).
     default_timeout_seconds, default_max_attempts:
         Job options applied when a submission does not carry its own.
     """
@@ -157,6 +158,7 @@ class JobServer:
         workers: int | None = None,
         max_queued: int | None = 256,
         rom_cache: "ROMCache | str | Path | None" = None,
+        rom_cache_max_bytes: int | None = None,
         run_fn: Any = None,
         retry_backoff_seconds: float = 0.5,
         default_timeout_seconds: float | None = None,
@@ -167,6 +169,7 @@ class JobServer:
             self.store,
             workers=workers,
             rom_cache=rom_cache,
+            rom_cache_max_bytes=rom_cache_max_bytes,
             retry_backoff_seconds=retry_backoff_seconds,
             run_fn=run_fn,
         )

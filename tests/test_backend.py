@@ -328,20 +328,22 @@ class TestSpecIntegration:
             SolverSpec(array_backend="jax")
 
     def test_schema_version_bumped_and_supported(self):
-        assert SCHEMA_VERSION == 2
-        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2}
-        assert SimulationSpec().to_dict()["schema_version"] == 2
+        assert SCHEMA_VERSION == 3
+        assert set(SUPPORTED_SCHEMA_VERSIONS) == {1, 2, 3}
+        assert SimulationSpec().to_dict()["schema_version"] == 3
 
     def test_v1_document_without_array_backend_still_loads(self):
         document = SimulationSpec().to_dict()
         document["schema_version"] = 1
         del document["solver"]["array_backend"]
+        del document["solver"]["shard"]
         spec = SimulationSpec.from_dict(document)
         assert spec.solver.array_backend == "numpy"
+        assert spec.solver.shard is None
 
     def test_future_schema_version_rejected(self):
         document = SimulationSpec().to_dict()
-        document["schema_version"] = 3
+        document["schema_version"] = 99
         from repro.api.spec import SpecError
 
         with pytest.raises(SpecError, match="schema_version"):

@@ -294,3 +294,94 @@ class TestConcurrentCacheWrites:
         path = cache.put(fast_rom)  # must not dead-wait on the stale lock
         assert path.exists()
         assert not stale.exists()
+
+
+class TestLRUEviction:
+    """Size-capped LRU eviction for long-lived shard fleets."""
+
+    @staticmethod
+    def _variant(fast_rom, pitch: float):
+        """A ROM with a distinct cache key (different pitch), same payload."""
+        from repro.geometry.tsv import TSVGeometry
+
+        block = UnitBlockGeometry(
+            tsv=TSVGeometry.paper_default(pitch=pitch), has_tsv=True
+        )
+        return dataclasses.replace(fast_rom, block=block)
+
+    def test_no_cap_never_evicts(self, fast_rom, tmp_path):
+        cache = ROMCache(tmp_path / "cache")
+        for pitch in (11.0, 12.0, 13.0):
+            cache.put(self._variant(fast_rom, pitch))
+        assert len(cache) == 3
+        assert cache.evictions == 0
+        assert cache.stats()["max_bytes"] is None
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="max_bytes"):
+            ROMCache(tmp_path / "cache", max_bytes=0)
+
+    def test_oldest_entry_evicted_first(self, fast_rom, tmp_path):
+        import os
+
+        probe = ROMCache(tmp_path / "probe")
+        size = probe.put(fast_rom).stat().st_size
+        cache = ROMCache(tmp_path / "cache", max_bytes=2 * size + size // 2)
+        path_a = cache.put(self._variant(fast_rom, 11.0))
+        path_b = cache.put(self._variant(fast_rom, 12.0))
+        os.utime(path_a, (100.0, 100.0))
+        os.utime(path_b, (200.0, 200.0))
+        path_c = cache.put(self._variant(fast_rom, 13.0))
+        assert not path_a.exists()  # oldest went first
+        assert path_b.exists() and path_c.exists()
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert abs(stats["evicted_bytes"] - size) <= 16  # metadata length varies
+        assert stats["entries"] == 2
+        assert cache.total_bytes() <= cache.max_bytes
+
+    def test_hit_touches_entry_and_protects_it(self, fast_rom, materials, tmp_path):
+        import os
+
+        probe = ROMCache(tmp_path / "probe")
+        size = probe.put(fast_rom).stat().st_size
+        cache = ROMCache(tmp_path / "cache", max_bytes=2 * size + size // 2)
+        rom_a = self._variant(fast_rom, 11.0)
+        path_a = cache.put(rom_a)
+        path_b = cache.put(self._variant(fast_rom, 12.0))
+        os.utime(path_a, (100.0, 100.0))
+        os.utime(path_b, (200.0, 200.0))
+        # A hit refreshes the entry's recency, so B is now the LRU victim.
+        loaded = cache.get(rom_a.block, rom_a.resolution, rom_a.scheme, materials)
+        assert loaded is not None
+        cache.put(self._variant(fast_rom, 13.0))
+        assert path_a.exists()
+        assert not path_b.exists()
+
+    def test_just_written_bundle_survives_a_tiny_cap(self, fast_rom, tmp_path):
+        probe = ROMCache(tmp_path / "probe")
+        size = probe.put(fast_rom).stat().st_size
+        cache = ROMCache(tmp_path / "cache", max_bytes=max(1, size // 2))
+        path_a = cache.put(self._variant(fast_rom, 11.0))
+        assert path_a.exists()  # cap smaller than one bundle: still serves
+        path_b = cache.put(self._variant(fast_rom, 12.0))
+        assert path_b.exists()
+        assert not path_a.exists()  # but the previous entry is evicted
+        assert cache.evictions == 1
+
+    def test_from_spec_applies_cap_to_paths_only(self, tmp_path):
+        coerced = ROMCache.from_spec(tmp_path / "dir", max_bytes=4096)
+        assert coerced.max_bytes == 4096
+        existing = ROMCache(tmp_path / "other")
+        assert ROMCache.from_spec(existing, max_bytes=4096) is existing
+        assert existing.max_bytes is None  # an instance keeps its own cap
+
+    def test_stats_surface_eviction_counters(self, fast_rom, tmp_path):
+        cache = ROMCache(tmp_path / "cache")
+        stats = cache.stats()
+        for key in ("hits", "misses", "hit_rate", "entries", "bytes",
+                    "max_bytes", "evictions", "evicted_bytes"):
+            assert key in stats
+        assert stats["evictions"] == 0 and stats["evicted_bytes"] == 0
+        cache.put(fast_rom)
+        assert cache.stats()["bytes"] > 0
