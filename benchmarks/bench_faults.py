@@ -1,0 +1,229 @@
+"""Emit BENCH_9.json: cost of the self-healing layer on the hot paths (ISSUE 9).
+
+The reliability layer must be close to free when nothing is failing.  This
+benchmark measures its three costs:
+
+* **fault-point overhead** — calls/second through :func:`repro.faults.
+  fault_point` with no plan active (the production configuration) vs. with
+  an active plan whose rules never match;
+* **checksum overhead on warm cache reads** — wall-clock of
+  :func:`~repro.utils.serialization.load_npz_bundle` over a representative
+  ROM bundle with ``verify=True`` (the default) vs. ``verify=False``,
+  which bounds the cost the :class:`~repro.rom.cache.ROMCache` pays per warm
+  hit (acceptance: < 2% of the end-to-end warm read);
+* **checksummed JSON round-trip** — ``dump_json``/``load_json`` of a
+  job-record-sized document with and without an embedded digest.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py [-o BENCH_9.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+import scipy
+
+from repro import __version__, faults
+from repro.utils.serialization import dump_json, load_json, load_npz_bundle
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _time_repeats(fn, repeats: int) -> dict[str, float]:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return {
+        "best_seconds": min(samples),
+        "median_seconds": statistics.median(samples),
+        "repeats": repeats,
+    }
+
+
+def bench_fault_point(calls: int = 200_000) -> dict[str, object]:
+    """Calls/second through an inactive and a non-matching fault point."""
+
+    def burn_inactive():
+        for _ in range(calls):
+            faults.fault_point("bench.site")
+
+    assert faults.active_plan() is None
+    inactive = _time_repeats(burn_inactive, repeats=3)
+
+    plan = faults.FaultPlan(
+        seed=0, rules=({"site": "never.matches.*", "kind": "transient"},)
+    )
+    with faults.injected_faults(plan):
+        active_nonmatching = _time_repeats(burn_inactive, repeats=3)
+
+    return {
+        "calls": calls,
+        "inactive": {
+            **inactive,
+            "calls_per_second": calls / inactive["best_seconds"],
+        },
+        "active_nonmatching": {
+            **active_nonmatching,
+            "calls_per_second": calls / active_nonmatching["best_seconds"],
+        },
+    }
+
+
+def bench_warm_cache_read(repeats: int = 30) -> dict[str, object]:
+    """Checksum cost of a warm ROM-cache read, on a *real* cached bundle.
+
+    A tiny spec run fills a ROM cache; the benchmark then times the cache's
+    read primitive (:func:`load_npz_bundle`) three ways:
+
+    * ``unverified`` — ``verify=False``, the pre-checksum baseline;
+    * ``first_read`` — full digest verification (the per-file verification
+      memo is cleared before every call, as on the first read after a write);
+    * ``steady_state`` — verification on, memo warm: the service's warm-hit
+      regime, where an unchanged file needs only a ``stat`` to trust.
+
+    The acceptance criterion (< 2%) applies to the steady state.
+    """
+    from repro.api import SimulationSpec, run
+    from repro.utils import serialization
+
+    spec = SimulationSpec.from_dict(
+        {
+            "name": "bench9-warm",
+            "geometry": {"rows": 1, "pitch": 15.0},
+            "mesh": {
+                "resolution": "tiny",
+                "nodes_per_axis": [4, 4, 4],
+                "points_per_block": 8,
+            },
+            "load_cases": [{"name": "cooldown", "delta_t": -250.0}],
+        }
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench9-") as tmp:
+        cache_dir = Path(tmp) / "rom_cache"
+        run(spec, rom_cache=cache_dir)
+        bundles = sorted(cache_dir.rglob("*.npz"))
+        assert bundles, "the run cached no ROM bundles"
+        path = max(bundles, key=lambda p: p.stat().st_size)
+        size_bytes = path.stat().st_size
+        load_npz_bundle(path)  # warm the page cache and the memo
+
+        unverified = _time_repeats(
+            lambda: load_npz_bundle(path, verify=False), repeats
+        )
+
+        def first_read():
+            serialization._VERIFIED_BUNDLES.clear()
+            load_npz_bundle(path, verify=True)
+
+        first = _time_repeats(first_read, repeats)
+        load_npz_bundle(path, verify=True)  # re-warm the memo
+        steady = _time_repeats(lambda: load_npz_bundle(path, verify=True), repeats)
+    baseline = unverified["median_seconds"]
+    return {
+        "bundle_bytes": size_bytes,
+        "bundle": path.name,
+        "unverified": unverified,
+        "first_read": first,
+        "steady_state": steady,
+        "first_read_overhead_fraction": (first["median_seconds"] - baseline)
+        / baseline,
+        "checksum_overhead_fraction": (steady["median_seconds"] - baseline)
+        / baseline,
+    }
+
+
+def bench_json_round_trip(repeats: int = 200) -> dict[str, object]:
+    """Job-record-sized JSON write+read, checksummed vs. plain."""
+    document = {
+        "id": "bench9job",
+        "state": "done",
+        "spec": {"geometry": {"rows": 4, "pitch": 15.0}, "cases": list(range(16))},
+        "progress": {"done_cases": 16, "total_cases": 16},
+        "timings": {f"case_{i}": 0.25 * i for i in range(16)},
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-bench9-") as tmp:
+        path = Path(tmp) / "record.json"
+
+        def round_trip(checksum: bool):
+            dump_json(path, document, checksum=checksum)
+            load_json(path)
+
+        plain = _time_repeats(lambda: round_trip(False), repeats)
+        checksummed = _time_repeats(lambda: round_trip(True), repeats)
+    overhead = (
+        checksummed["median_seconds"] - plain["median_seconds"]
+    ) / plain["median_seconds"]
+    return {
+        "plain": plain,
+        "checksummed": checksummed,
+        "checksum_overhead_fraction": overhead,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_9.json")
+    args = parser.parse_args(argv)
+
+    fault_point = bench_fault_point()
+    warm = bench_warm_cache_read()
+    json_rt = bench_json_round_trip()
+
+    document = {
+        "bench_schema_version": BENCH_SCHEMA_VERSION,
+        "issue": 9,
+        "description": (
+            "Reliability-layer overhead: inactive fault points, checksum "
+            "verification on warm bundle reads, checksummed JSON records."
+        ),
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "repro": __version__,
+        },
+        "fault_point": fault_point,
+        "warm_cache_read": warm,
+        "json_round_trip": json_rt,
+        "summary": {
+            "inactive_fault_point_calls_per_second": fault_point["inactive"][
+                "calls_per_second"
+            ],
+            "warm_cache_read_checksum_overhead_percent": 100.0
+            * warm["checksum_overhead_fraction"],
+            "json_checksum_overhead_percent": 100.0
+            * json_rt["checksum_overhead_fraction"],
+            "acceptance_warm_read_overhead_below_percent": 2.0,
+        },
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    overhead_pct = 100.0 * warm["checksum_overhead_fraction"]
+    print(f"wrote {output}")
+    print(
+        f"inactive fault point: "
+        f"{fault_point['inactive']['calls_per_second']:.3g} calls/s"
+    )
+    print(f"warm cache read checksum overhead: {overhead_pct:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

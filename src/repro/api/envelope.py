@@ -51,6 +51,7 @@ ENVELOPE_KINDS = (
     "stats",
     "health",
     "serve",
+    "chaos",
 )
 
 

@@ -22,7 +22,6 @@ are thin adapters over :func:`execute_cases`).  The executor
 from __future__ import annotations
 
 import os
-import uuid
 from contextlib import nullcontext
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -45,7 +44,11 @@ from repro.rom.cache import ROMCache
 from repro.rom.global_stage import GlobalStage
 from repro.utils.logging import get_logger
 from repro.utils.memory import PeakMemoryTracker
-from repro.utils.serialization import load_npz_bundle, save_npz_bundle
+from repro.utils.serialization import (
+    load_npz_bundle,
+    quarantine_file,
+    save_npz_bundle,
+)
 from repro.utils.timing import StageTimings, Timer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -232,14 +235,15 @@ def _save_group_checkpoint(
         ],
     }
     path = _group_checkpoint_path(directory, group_index)
-    temporary = directory / f".tmp-{uuid.uuid4().hex}.npz"
     try:
-        save_npz_bundle(temporary, arrays, metadata=metadata)
-        os.replace(temporary, path)
+        # save_npz_bundle is itself atomic + fsync'd and embeds a checksum
+        # the restore path verifies; "executor.checkpoint" is this write's
+        # fault-injection site.
+        save_npz_bundle(
+            path, arrays, metadata=metadata, fault_site="executor.checkpoint"
+        )
     except OSError as exc:
         _logger.warning("executor: could not write checkpoint %s (%s)", path, exc)
-    finally:
-        temporary.unlink(missing_ok=True)
 
 
 def _restore_group_checkpoint(
@@ -266,8 +270,15 @@ def _restore_group_checkpoint(
         return None
     try:
         arrays, metadata = load_npz_bundle(path)
-    except Exception:
-        _logger.warning("executor: unreadable checkpoint %s; re-solving", path)
+    except Exception as exc:
+        # Torn or corrupt marker (kill -9 mid-write, bit rot): quarantine it
+        # so the corruption stays observable, then re-solve the group.
+        _logger.warning(
+            "executor: corrupt checkpoint %s (%s); quarantining and re-solving",
+            path.name,
+            exc,
+        )
+        quarantine_file(path, f"checkpoint failed to load: {exc}")
         return None
     expected_cases = [
         {"name": case.name, "delta_t": case.delta_t} for _, case in members

@@ -25,6 +25,11 @@ The CLI exposes the most common workflows without writing Python:
     over one warm ROM cache (see :mod:`repro.service`).
 ``python -m repro submit run.json --url http://127.0.0.1:8642``
     Submit a spec file to a running server, wait, and print the summary.
+``python -m repro chaos --scenario torn-write --seed 7``
+    Run one (or ``--scenario all``) seeded fault-injection scenario against
+    an in-process server and check the reliability invariants — no lost or
+    duplicated jobs, no temp orphans, quarantine accounting, result parity
+    with a fault-free run (see :mod:`repro.chaos`).
 
 Every command accepts ``--json`` to emit the versioned response envelope
 (:mod:`repro.api.envelope`) on stdout instead of the human-readable text —
@@ -460,7 +465,59 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="default per-job wall-clock timeout (default: none)",
     )
+    serve.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "watchdog threshold: re-queue a job whose worker heartbeat is "
+            "older than SECONDS (default: no watchdog)"
+        ),
+    )
+    serve.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        default=None,
+        dest="fault_plan",
+        help=(
+            "fault-injection plan: a JSON file path or inline JSON object "
+            "(testing only; the REPRO_FAULT_PLAN environment variable is "
+            "honored when this flag is absent)"
+        ),
+    )
     _add_json_envelope_argument(serve, "the startup announcement (url, store, workers)")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run seeded fault-injection scenarios and check service invariants",
+    )
+    chaos.add_argument(
+        "--scenario",
+        default="all",
+        metavar="NAME",
+        help="scenario name, or 'all' (default) for every registered scenario",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="fault-plan RNG seed (default 0)"
+    )
+    chaos.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "state directory for the chaos run (default: a fresh temporary "
+            "directory, removed when the scenario passes)"
+        ),
+    )
+    chaos.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=1.5,
+        metavar="SECONDS",
+        help="watchdog threshold used by the scenarios (default 1.5)",
+    )
+    _add_json_envelope_argument(chaos, "the per-scenario chaos reports")
 
     submit = subparsers.add_parser(
         "submit", help="submit a SimulationSpec JSON file to a running job server"
@@ -850,8 +907,23 @@ def _command_table(
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro import faults
     from repro.service import JobServer
 
+    if args.fault_plan:
+        value = args.fault_plan.strip()
+        if value.startswith("{"):
+            fault_plan = faults.FaultPlan.from_json(value)
+        else:
+            fault_plan = faults.FaultPlan.from_file(value)
+    else:
+        fault_plan = faults.FaultPlan.from_env()
+    if fault_plan is not None:
+        print(
+            f"warning: fault injection active ({len(fault_plan.rules)} rule(s), "
+            f"seed {fault_plan.seed}) — testing only",
+            file=sys.stderr,
+        )
     server = JobServer(
         args.store,
         host=args.host,
@@ -861,6 +933,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         rom_cache=args.rom_cache,
         rom_cache_max_bytes=args.rom_cache_max_bytes,
         default_timeout_seconds=args.job_timeout,
+        stall_timeout_seconds=args.stall_timeout,
+        fault_plan=fault_plan,
     )
     server.start()
     document = wrap(
@@ -888,6 +962,61 @@ def _command_serve(args: argparse.Namespace) -> int:
     finally:
         server.stop()
     return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from repro import chaos
+
+    if args.scenario == "all":
+        names = sorted(chaos.SCENARIOS)
+    elif args.scenario in chaos.SCENARIOS:
+        names = [args.scenario]
+    else:
+        print(
+            f"error: unknown scenario {args.scenario!r}; choose from "
+            f"{sorted(chaos.SCENARIOS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    json_mode = args.json_path == "-"
+    reports = []
+    for name in names:
+        store_dir = None
+        if args.store:
+            store_dir = Path(args.store) / name
+        report = chaos.run_scenario(
+            name,
+            seed=args.seed,
+            store_dir=store_dir,
+            stall_timeout_seconds=args.stall_timeout,
+        )
+        reports.append(report)
+        if not json_mode:
+            status = "ok" if report.ok else "FAIL"
+            print(
+                f"{name:18s}: {status}  "
+                f"({len(report.acknowledged)} job(s), "
+                f"{len(report.fired)} fault(s) fired, "
+                f"{report.elapsed_seconds:.1f}s)"
+            )
+            for violation in report.violations:
+                print(f"  violation: {violation}")
+    failed = [report for report in reports if not report.ok]
+    if args.json_path:
+        document = wrap(
+            "chaos",
+            {
+                "seed": args.seed,
+                "ok": not failed,
+                "scenarios": [report.to_dict() for report in reports],
+            },
+        )
+        _emit_envelope(document, args.json_path)
+    if not json_mode:
+        print(
+            f"{len(reports) - len(failed)}/{len(reports)} scenario(s) passed"
+        )
+    return 1 if failed else 0
 
 
 def _command_submit(args: argparse.Namespace) -> int:
@@ -971,6 +1100,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "submit":
         return _command_submit(args)
+    if args.command == "chaos":
+        return _command_chaos(args)
     if args.command in _TABLE_COMMANDS:
         return _command_table(
             args.command,

@@ -79,6 +79,19 @@ class BackendError(ValidationError):
     http_status = 400
 
 
+class CorruptArtifactError(ReproError):
+    """A persisted artifact (bundle, record, checkpoint) failed verification.
+
+    Raised when a checksum embedded by the serialization layer does not match
+    the bytes read back — a torn write, bit rot, or a partially synced file
+    surfacing after a crash.  The self-healing layers catch this, quarantine
+    the artifact and rebuild; it reaches callers only when nothing can.
+    """
+
+    code = "corrupt_artifact"
+    http_status = 500
+
+
 class JobError(ReproError):
     """Base class of job-service errors (queueing, state, execution)."""
 
@@ -128,6 +141,29 @@ class JobCancelledError(JobError):
     http_status = 409
 
 
+class WorkerStalledError(JobError):
+    """A worker stopped heartbeating mid-job and was reaped by the watchdog.
+
+    The job is re-queued while its retry budget lasts; this error records the
+    terminal failure once the budget is exhausted.
+    """
+
+    code = "worker_stalled"
+    http_status = 504
+
+
+class CircuitOpenError(JobError):
+    """Repeated permanent failures of one spec tripped its circuit breaker.
+
+    Submissions of the failing spec hash fail fast (HTTP 503) until the
+    breaker's cooldown elapses; ``detail["retry_after"]`` carries the
+    remaining cooldown in seconds.
+    """
+
+    code = "circuit_open"
+    http_status = 503
+
+
 #: Every taxonomy class keyed by its stable ``code`` — the reverse mapping
 #: the service client uses to re-raise a typed exception from a wire envelope.
 ERROR_CLASSES_BY_CODE: dict[str, type[ReproError]] = {
@@ -137,6 +173,7 @@ ERROR_CLASSES_BY_CODE: dict[str, type[ReproError]] = {
         ValidationError,
         SpecError,
         BackendError,
+        CorruptArtifactError,
         JobError,
         JobNotFoundError,
         JobStateError,
@@ -144,6 +181,8 @@ ERROR_CLASSES_BY_CODE: dict[str, type[ReproError]] = {
         JobQueueFullError,
         JobTimeoutError,
         JobCancelledError,
+        WorkerStalledError,
+        CircuitOpenError,
     )
 }
 
@@ -197,6 +236,7 @@ __all__ = [
     "ValidationError",
     "SpecError",
     "BackendError",
+    "CorruptArtifactError",
     "JobError",
     "JobNotFoundError",
     "JobStateError",
@@ -204,6 +244,8 @@ __all__ = [
     "JobQueueFullError",
     "JobTimeoutError",
     "JobCancelledError",
+    "WorkerStalledError",
+    "CircuitOpenError",
     "ERROR_CLASSES_BY_CODE",
     "error_envelope",
     "error_from_envelope",

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro import faults
 from repro.backend import active_array_backend_name
 from repro.fem.backends import (
     FactorizedOperator,
@@ -33,7 +34,10 @@ from repro.fem.backends import (
     canonical_backend_name,
     resolve_backend,
 )
+from repro.utils.logging import get_logger
 from repro.utils.validation import ValidationError
+
+_logger = get_logger("fem.solver")
 
 #: Legacy ``method`` values and the backend each one routes to.
 _METHOD_BACKENDS = {"direct": "direct-splu", "cg": "cg", "gmres": "gmres"}
@@ -107,9 +111,29 @@ class LinearSolver:
                 f"matrix of shape {matrix.shape} incompatible with rhs of size {rhs.size}"
             )
         backend, requested = resolve_backend(self.options.effective_backend)
-        solution, stats = backend.solve(matrix, rhs, self.options)
-        if backend.name != requested:
-            # The requested backend was unavailable; record the substitution.
+        answered = backend
+        try:
+            # Each backend is a named fault site: an injected transient
+            # failure exercises the fallback chain below.
+            faults.fault_point(f"fem.backends.{backend.name}")
+            solution, stats = backend.solve(matrix, rhs, self.options)
+        except faults.TransientFaultError as exc:
+            if backend.name == "direct-splu":
+                # Bottom of the chain: a one-off failure retries in place.
+                _logger.warning("solver: transient failure (%s); retrying", exc)
+                solution, stats = backend.solve(matrix, rhs, self.options)
+            else:
+                _logger.warning(
+                    "solver: transient failure in backend %s (%s); "
+                    "falling back to direct-splu",
+                    backend.name,
+                    exc,
+                )
+                answered, _ = resolve_backend("direct-splu")
+                solution, stats = answered.solve(matrix, rhs, self.options)
+        if answered.name != requested:
+            # A different backend answered (unavailable at resolution time,
+            # or failed over mid-solve); record the substitution.
             stats.method = f"{requested}->{stats.method}"
         stats.array_backend = active_array_backend_name()
         self.last_stats = stats

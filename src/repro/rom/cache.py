@@ -30,7 +30,6 @@ import json
 import os
 import threading
 import time
-import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,6 +40,7 @@ from repro.mesh.resolution import MeshResolution
 from repro.rom.interpolation import InterpolationScheme
 from repro.rom.rom_model import ReducedOrderModel
 from repro.utils.logging import get_logger
+from repro.utils.serialization import quarantine_file
 from repro.utils.validation import ValidationError
 
 _logger = get_logger("rom.cache")
@@ -96,12 +96,15 @@ class ROMCache:
         until the cache fits again.  ``None`` (the default) never evicts.
         Eviction is multi-process-safe: a concurrent reader of an evicted
         bundle degrades to a miss and rebuilds.
-    hits, misses, evictions, evicted_bytes:
-        Lookup/eviction statistics of this cache instance.  Counter updates
-        are serialised by an internal lock so one cache instance can back
-        many concurrent readers (the job service shares a single
+    hits, misses, evictions, evicted_bytes, quarantined, put_errors:
+        Lookup/eviction/health statistics of this cache instance.  Counter
+        updates are serialised by an internal lock so one cache instance can
+        back many concurrent readers (the job service shares a single
         process-wide cache across its worker pool); :meth:`stats` takes one
-        consistent snapshot of the counters.
+        consistent snapshot of the counters.  ``quarantined`` counts corrupt
+        bundles moved to the ``.quarantine/`` sidecar; ``put_errors`` counts
+        writes the cache degraded through (e.g. a full disk) — the cache is
+        an optimisation, so a failed store never fails the simulation.
     """
 
     directory: str | Path
@@ -110,6 +113,8 @@ class ROMCache:
     misses: int = field(default=0, init=False)
     evictions: int = field(default=0, init=False)
     evicted_bytes: int = field(default=0, init=False)
+    quarantined: int = field(default=0, init=False)
+    put_errors: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory).expanduser()
@@ -137,6 +142,7 @@ class ROMCache:
         with self._stats_lock:
             hits, misses = self.hits, self.misses
             evictions, evicted_bytes = self.evictions, self.evicted_bytes
+            quarantined, put_errors = self.quarantined, self.put_errors
         lookups = hits + misses
         return {
             "hits": hits,
@@ -147,6 +153,8 @@ class ROMCache:
             "max_bytes": self.max_bytes,
             "evictions": evictions,
             "evicted_bytes": evicted_bytes,
+            "quarantined": quarantined,
+            "put_errors": put_errors,
         }
 
     def total_bytes(self) -> int:
@@ -240,13 +248,21 @@ class ROMCache:
             return None
         try:
             rom = ReducedOrderModel.load(path)
-        except Exception:
-            # A corrupt or truncated bundle (e.g. leftover from a killed
-            # writer) must degrade to a rebuild, not break every warm run;
-            # the next put() atomically replaces it.
+        except Exception as exc:
+            # A corrupt or truncated bundle (e.g. a torn write surfacing
+            # after a crash) must degrade to a rebuild, not break every warm
+            # run.  The bad bundle is quarantined — not silently shadowed —
+            # so operators can see and inspect the corruption.
             _logger.warning(
-                "ROM cache: failed to load %s; treating as a miss", path.name
+                "ROM cache: corrupt bundle %s (%s: %s); quarantining and "
+                "treating as a miss",
+                path.name,
+                type(exc).__name__,
+                exc,
             )
+            quarantine_file(path, f"rom cache bundle failed to load: {exc}")
+            with self._stats_lock:
+                self.quarantined += 1
             self._record(hit=False)
             return None
         rom.check_materials(materials)
@@ -261,11 +277,14 @@ class ROMCache:
     def put(self, rom: ReducedOrderModel) -> Path:
         """Persist a ROM under its configuration key and return the path.
 
-        The bundle is written to a temporary file and atomically renamed into
-        place, so concurrent readers sharing the cache directory never see a
-        partially written bundle and concurrent writers cannot interleave;
-        a per-key lockfile additionally serialises same-key writers (e.g.
-        parallel local stages racing to store the same configuration).
+        The bundle write is atomic and fsync'd (tmp file + rename inside
+        :func:`~repro.utils.serialization.save_npz_bundle`), so concurrent
+        readers sharing the cache directory never see a partially written
+        bundle; a per-key lockfile additionally serialises same-key writers
+        (e.g. parallel local stages racing to store the same configuration).
+        A failed write (full disk, I/O error) degrades to a warning — the
+        cache is an optimisation, so the just-built ROM stays usable and the
+        simulation proceeds uncached.
         """
         if rom.material_fingerprint is None:
             raise ValidationError(
@@ -278,12 +297,17 @@ class ROMCache:
         path = self._bundle_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         with self._write_lock(key):
-            temporary = path.parent / f".tmp-{key}-{uuid.uuid4().hex}.npz"
             try:
-                rom.save(temporary)
-                os.replace(temporary, path)
-            finally:
-                temporary.unlink(missing_ok=True)
+                rom.save(path, fault_site="rom_cache.put")
+            except OSError as exc:
+                with self._stats_lock:
+                    self.put_errors += 1
+                _logger.warning(
+                    "ROM cache: could not store %s (%s); continuing uncached",
+                    path.name,
+                    exc,
+                )
+                return path
         _logger.info("ROM cache store: %s", path.name)
         self._evict_over_budget(keep=path)
         return path

@@ -217,8 +217,15 @@ class ReducedOrderModel:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, path: str | Path) -> Path:
-        """Persist the ROM to an ``.npz`` bundle and return the written path."""
+    def save(
+        self, path: str | Path, *, fault_site: str = "serialization.save_npz"
+    ) -> Path:
+        """Persist the ROM to an ``.npz`` bundle and return the written path.
+
+        ``fault_site`` names the fault-injection site of the underlying write
+        (the ROM cache passes its own site so chaos plans can target cache
+        writes specifically).
+        """
         arrays = {
             "basis": self.basis,
             "element_stiffness": self.element_stiffness,
@@ -250,7 +257,7 @@ class ReducedOrderModel:
             "local_stage_seconds": self.local_stage_seconds,
             "material_fingerprint": self.material_fingerprint,
         }
-        return save_npz_bundle(path, arrays, metadata)
+        return save_npz_bundle(path, arrays, metadata, fault_site=fault_site)
 
     @classmethod
     def load(cls, path: str | Path) -> "ReducedOrderModel":

@@ -15,6 +15,7 @@ in-process and over-the-wire execution::
 
 from __future__ import annotations
 
+import random
 import time
 import urllib.error
 import urllib.request
@@ -23,7 +24,9 @@ from typing import Any, Mapping
 
 from repro.api.spec import SimulationSpec
 from repro.errors import (
+    CircuitOpenError,
     JobError,
+    JobQueueFullError,
     JobTimeoutError,
     ReproError,
     error_from_envelope,
@@ -31,6 +34,22 @@ from repro.errors import (
 from repro.service import protocol
 
 _DEFAULT_POLL_SECONDS = 0.1
+
+
+def _jittered(seconds: float) -> float:
+    """``seconds`` ±25% — polite clients must not retry in lockstep."""
+    return max(0.0, seconds) * (0.75 + 0.5 * random.random())
+
+
+def _retry_after_of(exc: BaseException, default: float) -> float:
+    """The server-advertised retry delay carried by a back-pressure error."""
+    value = getattr(exc, "retry_after", None)
+    if value is None and isinstance(getattr(exc, "detail", None), Mapping):
+        value = exc.detail.get("retry_after")
+    try:
+        return float(value) if value is not None else default
+    except (TypeError, ValueError):
+        return default
 
 
 class ServiceClient:
@@ -77,7 +96,14 @@ class ServiceClient:
             payload = exc.read()
             envelope = protocol.decode_document(payload, path=f"{method} {path} response")
             if isinstance(envelope, Mapping) and "error" in envelope:
-                raise error_from_envelope(envelope) from None
+                error = error_from_envelope(envelope)
+                retry_after = exc.headers.get("Retry-After")
+                if retry_after is not None:
+                    try:
+                        error.retry_after = float(retry_after)
+                    except (TypeError, ValueError):
+                        pass
+                raise error from None
             raise JobError(
                 f"{method} {path}: HTTP {exc.code} without an error envelope"
             ) from exc
@@ -131,19 +157,28 @@ class ServiceClient:
     ) -> dict[str, Any]:
         """Poll until the job reaches a terminal state; returns its record.
 
+        Polling is jittered (±25%) so many waiting clients spread out, and a
+        back-pressure response (HTTP 429/503) is honored: the poll sleeps
+        for the server's advertised ``Retry-After`` instead of hammering.
         Raises :class:`JobTimeoutError` if the client-side wait budget runs
         out first (the job itself keeps running server-side).
         """
         deadline = time.time() + timeout
         while True:
-            record = self.job(job_id)
-            if record["state"] in ("done", "failed", "cancelled"):
+            delay = poll_seconds
+            try:
+                record = self.job(job_id)
+            except (JobQueueFullError, CircuitOpenError) as exc:
+                record = None
+                delay = max(poll_seconds, _retry_after_of(exc, poll_seconds))
+            if record is not None and record["state"] in ("done", "failed", "cancelled"):
                 return record
             if time.time() > deadline:
+                state = record["state"] if record is not None else "unreachable"
                 raise JobTimeoutError(
-                    f"job {job_id} still {record['state']} after waiting {timeout:g}s"
+                    f"job {job_id} still {state} after waiting {timeout:g}s"
                 )
-            time.sleep(poll_seconds)
+            time.sleep(_jittered(delay))
 
     def result(self, job_id: str) -> dict[str, Any]:
         """The finished job's result envelope (the saved ``manifest.json``)."""
@@ -178,11 +213,23 @@ class ServiceClient:
     ) -> dict[str, Any]:
         """Submit, wait, and return the result envelope in one call.
 
-        Raises the job's recorded taxonomy error if it failed or was
-        cancelled instead of returning a manifest.
+        A submission rejected with back-pressure (queue full, open circuit)
+        is retried with jittered backoff honoring the server's
+        ``Retry-After`` until the ``timeout`` budget runs out.  Raises the
+        job's recorded taxonomy error if it failed or was cancelled instead
+        of returning a manifest.
         """
-        record = self.submit(spec, timeout_seconds=timeout_seconds)
-        record = self.wait(record["id"], timeout=timeout)
+        deadline = time.time() + timeout
+        while True:
+            try:
+                record = self.submit(spec, timeout_seconds=timeout_seconds)
+                break
+            except (JobQueueFullError, CircuitOpenError) as exc:
+                delay = _jittered(_retry_after_of(exc, 1.0))
+                if time.time() + delay > deadline:
+                    raise
+                time.sleep(delay)
+        record = self.wait(record["id"], timeout=max(0.0, deadline - time.time()))
         if record["state"] != "done":
             error = record.get("error")
             if error:

@@ -27,6 +27,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.api.spec import SimulationSpec
 from repro.errors import (
+    CorruptArtifactError,
     JobNotFoundError,
     JobQueueFullError,
     JobStateError,
@@ -34,8 +35,9 @@ from repro.errors import (
     ValidationError,
     error_envelope,
 )
+from repro.service.watchdog import CircuitBreaker
 from repro.utils.logging import get_logger
-from repro.utils.serialization import dump_json, load_json
+from repro.utils.serialization import dump_json, load_json, quarantine_file
 
 _logger = get_logger("service.jobs")
 
@@ -158,9 +160,26 @@ class JobStore:
     disk atomically before it is visible to other threads and (b) state
     transitions are checked: a job can only run from ``queued``, only finish
     from ``running``, and terminal states are final.
+
+    Records are persisted with an embedded sha256 checksum.  A record that
+    fails verification on reload (torn write after ``kill -9``, bit rot) is
+    quarantined to ``jobs/.quarantine/`` and counted — a corrupt file can
+    never crash a restarting server or resurrect as a ghost job.  Persist
+    failures of *non-acknowledging* transitions (progress, retries) degrade
+    to a warning + counter: losing a progress tick is recoverable, failing
+    the whole job over it is not.  Only the initial submit persist is
+    critical, because it backs the acknowledgment returned to the client.
+
+    ``circuit_breaker`` (optional) fail-fasts submissions of a spec hash
+    with repeated permanent failures; the service installs one by default.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        circuit_breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.directory = Path(directory).expanduser()
         if self.directory.exists() and not self.directory.is_dir():
             raise ValidationError(
@@ -171,6 +190,9 @@ class JobStore:
         self._lock = threading.RLock()
         self._jobs: dict[str, Job] = {}
         self.dedup_hits = 0
+        self.quarantined = 0
+        self.persist_errors = 0
+        self.circuit_breaker = circuit_breaker
         self._load()
 
     # ------------------------------------------------------------------ #
@@ -182,13 +204,48 @@ class JobStore:
         for path in sorted(self._jobs_dir.glob("*.json")):
             try:
                 job = Job.from_dict(load_json(path))
-            except (ValidationError, ValueError) as exc:
-                _logger.warning("job store: skipping unreadable %s (%s)", path.name, exc)
+            except (CorruptArtifactError, ValidationError, ValueError) as exc:
+                _logger.warning(
+                    "job store: corrupt record %s (%s); quarantining",
+                    path.name,
+                    exc,
+                )
+                quarantine_file(path, f"job record failed to load: {exc}")
+                self.quarantined += 1
+                continue
+            except OSError as exc:
+                _logger.warning(
+                    "job store: skipping unreadable %s (%s)", path.name, exc
+                )
                 continue
             self._jobs[job.id] = job
 
-    def _persist(self, job: Job) -> None:
-        dump_json(self._jobs_dir / f"{job.id}.json", job.to_dict())
+    def _persist(self, job: Job, *, critical: bool = False) -> None:
+        """Write the job record; degrade non-critical persist failures.
+
+        ``critical=True`` propagates write errors (used for the submit
+        persist that backs the client-visible acknowledgment); otherwise an
+        :class:`OSError` (full disk, injected fault) is logged and counted
+        but the in-memory transition stands — the record heals on the next
+        successful persist of the job.
+        """
+        try:
+            dump_json(
+                self._jobs_dir / f"{job.id}.json",
+                job.to_dict(),
+                checksum=True,
+                fault_site="service.jobs.persist",
+            )
+        except OSError as exc:
+            if critical:
+                raise
+            with self._lock:
+                self.persist_errors += 1
+            _logger.warning(
+                "job store: could not persist %s (%s); state kept in memory",
+                job.id,
+                exc,
+            )
 
     def result_dir(self, job: Job) -> Path:
         """Directory the job's :meth:`RunResult.save` output lives in.
@@ -215,6 +272,9 @@ class JobStore:
         existing queued/running/done job.  ``max_queued`` bounds the queue:
         a *new* job beyond the bound raises :class:`JobQueueFullError`
         (dedup hits never count against the bound — they add no work).
+        A spec hash whose circuit breaker is open raises
+        :class:`~repro.errors.CircuitOpenError` before any work is queued
+        (dedup hits pass — attaching to existing work costs nothing).
         """
         if not isinstance(spec, SimulationSpec):
             spec = SimulationSpec.from_dict(spec)
@@ -239,6 +299,8 @@ class JobStore:
                     existing.submissions,
                 )
                 return existing, False
+            if self.circuit_breaker is not None:
+                self.circuit_breaker.check(spec_hash)
             if max_queued is not None:
                 depth = sum(1 for job in self._jobs.values() if job.state == "queued")
                 if depth >= max_queued:
@@ -259,7 +321,16 @@ class JobStore:
                 },
             )
             self._jobs[job.id] = job
-            self._persist(job)
+            try:
+                self._persist(job, critical=True)
+            except BaseException:
+                # Keep memory consistent with disk: a failed write must not
+                # leave a phantom job, but a crash *after* the rename (the
+                # record landed durably) must keep it — exactly like a
+                # killed server whose restart recovers the queued record.
+                if not (self._jobs_dir / f"{job.id}.json").exists():
+                    self._jobs.pop(job.id, None)
+                raise
             _logger.info("job %s: queued spec %s", job.id, spec_hash)
             return job, True
 
@@ -330,6 +401,8 @@ class JobStore:
             job.error = None
             self._transition(job, "done", ("running",))
             _logger.info("job %s: done", job.id)
+        if self.circuit_breaker is not None:
+            self.circuit_breaker.record_success(job.spec_hash)
 
     def mark_failed(self, job: Job, exc: BaseException) -> None:
         with self._lock:
@@ -337,6 +410,8 @@ class JobStore:
             job.error = error_envelope(exc)["error"]
             self._transition(job, "failed", ("queued", "running"))
             _logger.warning("job %s: failed (%s)", job.id, exc)
+        if self.circuit_breaker is not None:
+            self.circuit_breaker.record_failure(job.spec_hash)
 
     def mark_cancelled(self, job: Job) -> None:
         with self._lock:
@@ -397,12 +472,17 @@ class JobStore:
             states = {state: 0 for state in JOB_STATES}
             for job in self._jobs.values():
                 states[job.state] += 1
-            return {
+            document = {
                 "jobs": states,
                 "queue_depth": states["queued"],
                 "total_jobs": len(self._jobs),
                 "dedup_hits": self.dedup_hits,
+                "quarantined": self.quarantined,
+                "persist_errors": self.persist_errors,
             }
+        if self.circuit_breaker is not None:
+            document["circuit_breaker"] = self.circuit_breaker.stats()
+        return document
 
 
 __all__ = [

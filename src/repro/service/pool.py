@@ -20,6 +20,13 @@ callback at case boundaries:
   transient by definition and retried with exponential backoff up to the
   job's ``max_attempts``; taxonomy errors (invalid spec, backend problems)
   are permanent and fail immediately.
+* **liveness** — every execution carries a heartbeat token (beaten at attempt
+  start and at every case boundary); a
+  :class:`~repro.service.watchdog.WorkerWatchdog` reaps executions whose
+  heartbeat goes stale, re-queues the job under its retry budget, and spawns
+  a replacement worker.  The stuck thread is *abandoned*: threads cannot be
+  killed, so when it eventually wakes it discards its result and exits
+  instead of double-completing the job.
 """
 
 from __future__ import annotations
@@ -32,14 +39,17 @@ import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import faults
 from repro.api.result import RunResult
 from repro.errors import (
     JobCancelledError,
     JobTimeoutError,
     ReproError,
+    WorkerStalledError,
 )
 from repro.rom.cache import ROMCache
 from repro.service.jobs import Job, JobStore
+from repro.service.watchdog import WorkerWatchdog
 from repro.utils.logging import get_logger
 from repro.utils.parallel import available_cpus, resolve_jobs
 
@@ -49,6 +59,39 @@ _ROM_CACHE_SUBDIR = "rom_cache"
 
 #: Queue sentinel telling a worker thread to exit.
 _STOP = None
+
+
+class _AbandonedExecution(Exception):
+    """Internal control flow: the watchdog reaped this execution.
+
+    Raised inside the worker when it discovers its token was abandoned; the
+    worker discards whatever it computed and exits (a replacement thread is
+    already running).  Never escapes the pool.
+    """
+
+
+class ExecutionToken:
+    """Heartbeat + liveness state of one in-flight job execution."""
+
+    __slots__ = ("job", "abandoned", "finished", "_heartbeat")
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.abandoned = threading.Event()
+        self.finished = threading.Event()
+        self._heartbeat = time.monotonic()
+
+    def beat(self) -> None:
+        """Refresh the heartbeat (attempt start and every case boundary)."""
+        self._heartbeat = time.monotonic()
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the execution last proved it was alive."""
+        return time.monotonic() - self._heartbeat
+
+    def check_abandoned(self) -> None:
+        if self.abandoned.is_set():
+            raise _AbandonedExecution(f"job {self.job.id}: execution abandoned")
 
 
 def _default_workers() -> int:
@@ -119,6 +162,13 @@ class WorkerPool:
         the job's result directory, so a crashed worker's retry — or a
         re-queued job after a service restart — resumes at the last
         completed case group instead of restarting.
+    stall_timeout_seconds:
+        When set, a :class:`WorkerWatchdog` reaps executions whose heartbeat
+        (attempt start + every case boundary) is staler than this many
+        seconds: the job is re-queued under its retry budget (or failed with
+        :class:`WorkerStalledError`), a replacement worker thread is
+        spawned, and the stuck thread is abandoned.  ``None`` (the default)
+        runs without a watchdog.
     """
 
     def __init__(
@@ -130,6 +180,7 @@ class WorkerPool:
         rom_cache_max_bytes: int | None = None,
         retry_backoff_seconds: float = 0.5,
         run_fn: Callable[..., RunResult] | None = None,
+        stall_timeout_seconds: float | None = None,
     ) -> None:
         self.store = store
         self.workers = (
@@ -145,6 +196,15 @@ class WorkerPool:
         self._busy = 0
         self._busy_lock = threading.Lock()
         self._started = False
+        self._executions: set[ExecutionToken] = set()
+        self._executions_lock = threading.Lock()
+        self._worker_serial = 0
+        self.stalls = 0
+        self.watchdog = (
+            WorkerWatchdog(self, stall_timeout_seconds=stall_timeout_seconds)
+            if stall_timeout_seconds is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -156,12 +216,10 @@ class WorkerPool:
         self._started = True
         for job in self.store.recover():
             self._queue.put(job.id)
-        for index in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker, name=f"repro-worker-{index}", daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+        for _ in range(self.workers):
+            self._spawn_worker()
+        if self.watchdog is not None:
+            self.watchdog.start()
         _logger.info(
             "worker pool: %d worker(s), rom cache at %s",
             self.workers,
@@ -169,10 +227,22 @@ class WorkerPool:
         )
         return self
 
+    def _spawn_worker(self) -> None:
+        self._worker_serial += 1
+        thread = threading.Thread(
+            target=self._worker,
+            name=f"repro-worker-{self._worker_serial}",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
+
     def shutdown(self, wait: bool = True, timeout: float | None = 10.0) -> None:
         """Stop the workers (running jobs finish their current attempt)."""
         if not self._started:
             return
+        if self.watchdog is not None:
+            self.watchdog.stop()
         for _ in self._threads:
             self._queue.put(_STOP)
         if wait:
@@ -194,12 +264,77 @@ class WorkerPool:
     def stats(self) -> dict[str, Any]:
         """Pool utilization plus the shared ROM cache statistics."""
         busy = self.busy_workers
-        return {
+        document = {
             "workers": self.workers,
             "busy_workers": busy,
             "utilization": busy / self.workers if self.workers else 0.0,
+            "stalls": self.stalls,
             "rom_cache": self.rom_cache.stats(),
         }
+        if self.watchdog is not None:
+            document["watchdog"] = self.watchdog.stats()
+        return document
+
+    # ------------------------------------------------------------------ #
+    # execution registry (read by the watchdog)
+    # ------------------------------------------------------------------ #
+    def active_executions(self) -> list[ExecutionToken]:
+        """Snapshot of the currently running execution tokens."""
+        with self._executions_lock:
+            return list(self._executions)
+
+    def _register(self, token: ExecutionToken) -> None:
+        with self._executions_lock:
+            self._executions.add(token)
+
+    def _unregister(self, token: ExecutionToken) -> None:
+        token.finished.set()
+        with self._executions_lock:
+            self._executions.discard(token)
+
+    def reap_execution(self, token: ExecutionToken, age: float) -> bool:
+        """Abandon a stalled execution and reschedule its job.
+
+        Called by the watchdog.  Returns ``True`` when the execution was
+        actually reaped (``False`` if it finished or was already reaped in
+        the meantime).  The job goes back to the queue while its retry
+        budget lasts; otherwise it fails with :class:`WorkerStalledError`.
+        A replacement worker thread is spawned either way, because the stuck
+        one cannot take new work until (if ever) it wakes.
+        """
+        if token.finished.is_set() or token.abandoned.is_set():
+            return False
+        token.abandoned.set()
+        self._unregister(token)
+        self.stalls += 1
+        job = token.job
+        _logger.warning(
+            "watchdog: job %s stalled (heartbeat %.1fs old); reaping worker",
+            job.id,
+            age,
+        )
+        if self._started:
+            self._spawn_worker()
+        try:
+            current = self.store.get(job.id)
+            if current.state != "running":
+                return True  # finished/cancelled concurrently; nothing to redo
+            if job.attempts >= job.max_attempts:
+                self.store.mark_failed(
+                    job,
+                    WorkerStalledError(
+                        f"job {job.id}: worker heartbeat stale for {age:.1f}s "
+                        f"and retry budget exhausted "
+                        f"({job.attempts}/{job.max_attempts} attempts)",
+                        detail={"job_id": job.id, "heartbeat_age": age},
+                    ),
+                )
+            else:
+                self.store.requeue(job)
+                self._queue.put(job.id)
+        except ReproError:
+            _logger.exception("watchdog: could not reschedule job %s", job.id)
+        return True
 
     # ------------------------------------------------------------------ #
     # execution
@@ -211,13 +346,26 @@ class WorkerPool:
                 return
             with self._busy_lock:
                 self._busy += 1
+            abandoned = False
             try:
                 self._run_job(job_id)
+            except _AbandonedExecution:
+                # The watchdog reaped this execution and spawned a
+                # replacement thread; this one exits to keep the worker
+                # count honest.
+                abandoned = True
             except Exception:  # pragma: no cover - belt and braces
                 _logger.exception("worker: unexpected error running job %s", job_id)
             finally:
                 with self._busy_lock:
                     self._busy -= 1
+            if abandoned:
+                _logger.info(
+                    "worker %s: exiting after abandoned execution of job %s",
+                    threading.current_thread().name,
+                    job_id,
+                )
+                return
 
     def _run_job(self, job_id: str) -> None:
         job = self.store.mark_running(job_id)
@@ -229,8 +377,12 @@ class WorkerPool:
             if job.timeout_seconds is not None and job.started_at is not None
             else None
         )
+        token = ExecutionToken(job)
+        self._register(token)
 
         def progress(done: int, total: int, case_name: str) -> None:
+            token.beat()
+            token.check_abandoned()
             self.store.update_progress(job, done, total)
             # Re-read our own record: cancel_requested is flipped by the
             # HTTP thread on the same Job instance the store holds.
@@ -258,40 +410,57 @@ class WorkerPool:
         if _accepts_keyword(run_fn, "checkpoint_dir"):
             kwargs["checkpoint_dir"] = checkpoint_dir
 
-        while True:
-            self.store.record_execution(job)
-            try:
-                result = run_fn(
-                    spec, rom_cache=self.rom_cache, progress=progress, **kwargs
-                )
-                result.save(self.store.result_dir(job))
-                # The saved result supersedes the markers; a fresh submission
-                # of the same spec must not resume from them.
-                shutil.rmtree(checkpoint_dir, ignore_errors=True)
-                self.store.mark_done(job, default_run_summary(result))
-                return
-            except JobCancelledError:
-                self.store.mark_cancelled(job)
-                return
-            except (JobTimeoutError, ReproError) as exc:
-                # Timeouts and taxonomy errors (invalid spec, backend
-                # misconfiguration) are permanent: retrying cannot help.
-                self.store.mark_failed(job, exc)
-                return
-            except Exception as exc:
-                if job.attempts >= job.max_attempts:
+        try:
+            while True:
+                self.store.record_execution(job)
+                token.beat()
+                try:
+                    # The worker fault site: "hang" blocks here with a stale
+                    # heartbeat (watchdog bait), "crash" raises below and
+                    # rides the transient-retry path like any foreign error.
+                    directive = faults.fault_point("service.pool.worker")
+                    token.check_abandoned()
+                    if directive == "crash":
+                        raise faults.SimulatedCrashError(
+                            f"injected worker crash while running job {job.id}"
+                        )
+                    result = run_fn(
+                        spec, rom_cache=self.rom_cache, progress=progress, **kwargs
+                    )
+                    token.check_abandoned()
+                    result.save(self.store.result_dir(job))
+                    # The saved result supersedes the markers; a fresh
+                    # submission of the same spec must not resume from them.
+                    shutil.rmtree(checkpoint_dir, ignore_errors=True)
+                    self.store.mark_done(job, default_run_summary(result))
+                    return
+                except _AbandonedExecution:
+                    raise
+                except JobCancelledError:
+                    self.store.mark_cancelled(job)
+                    return
+                except (JobTimeoutError, ReproError) as exc:
+                    # Timeouts and taxonomy errors (invalid spec, backend
+                    # misconfiguration) are permanent: retrying cannot help.
                     self.store.mark_failed(job, exc)
                     return
-                backoff = self.retry_backoff_seconds * 2 ** (job.attempts - 1)
-                _logger.warning(
-                    "job %s: attempt %d/%d failed (%s); retrying in %.2fs",
-                    job.id,
-                    job.attempts,
-                    job.max_attempts,
-                    exc,
-                    backoff,
-                )
-                time.sleep(backoff)
+                except Exception as exc:
+                    token.check_abandoned()
+                    if job.attempts >= job.max_attempts:
+                        self.store.mark_failed(job, exc)
+                        return
+                    backoff = self.retry_backoff_seconds * 2 ** (job.attempts - 1)
+                    _logger.warning(
+                        "job %s: attempt %d/%d failed (%s); retrying in %.2fs",
+                        job.id,
+                        job.attempts,
+                        job.max_attempts,
+                        exc,
+                        backoff,
+                    )
+                    time.sleep(backoff)
+        finally:
+            self._unregister(token)
 
 
-__all__ = ["WorkerPool", "default_run_summary"]
+__all__ = ["ExecutionToken", "WorkerPool", "default_run_summary"]

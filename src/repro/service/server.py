@@ -37,6 +37,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 
+from repro import faults
 from repro._version import __version__
 from repro.api.envelope import wrap
 from repro.api.spec import SimulationSpec
@@ -50,6 +51,7 @@ from repro.rom.cache import ROMCache
 from repro.service import protocol
 from repro.service.jobs import JobStore
 from repro.service.pool import WorkerPool
+from repro.service.watchdog import CircuitBreaker
 from repro.utils.logging import get_logger
 
 _logger = get_logger("service.server")
@@ -80,18 +82,38 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         _logger.info("%s - %s", self.address_string(), format % args)
 
-    def _send_json(self, document: Any, status: int = 200) -> None:
+    def _send_json(
+        self,
+        document: Any,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = protocol.encode_document(document)
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _send_error_envelope(self, exc: BaseException) -> None:
         if not isinstance(exc, (JobNotFoundError, JobStateError)):
             _logger.warning("request %s %s failed: %s", self.command, self.path, exc)
-        self._send_json(error_envelope(exc), status=http_status_for(exc))
+        status = http_status_for(exc)
+        headers: dict[str, str] = {}
+        if status in (429, 503):
+            # Back-pressure responses tell polite clients when to try again;
+            # a circuit breaker carries its remaining cooldown in the detail.
+            retry_after = 1.0
+            detail = getattr(exc, "detail", None)
+            if isinstance(detail, dict):
+                try:
+                    retry_after = float(detail.get("retry_after", retry_after))
+                except (TypeError, ValueError):
+                    pass
+            headers["Retry-After"] = str(max(1, round(retry_after)))
+        self._send_json(error_envelope(exc), status=status, headers=headers)
 
     def _send_file(self, path: Path, content_type: str) -> None:
         data = path.read_bytes()
@@ -147,6 +169,18 @@ class JobServer:
         shared cache with LRU eviction, surfaced in ``/stats``).
     default_timeout_seconds, default_max_attempts:
         Job options applied when a submission does not carry its own.
+    stall_timeout_seconds:
+        Enables the worker watchdog: executions whose heartbeat goes staler
+        than this are reaped and re-queued (``None`` disables).
+    circuit_threshold, circuit_reset_seconds:
+        Circuit breaker per spec hash: after ``circuit_threshold``
+        consecutive permanent failures, further submissions of that hash
+        fail fast with HTTP 503 + ``Retry-After`` until
+        ``circuit_reset_seconds`` elapse.  ``circuit_threshold=None``
+        disables the breaker.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan` activated for the server's
+        lifetime (staging/chaos use; see ``repro serve --fault-plan``).
     """
 
     def __init__(
@@ -163,8 +197,22 @@ class JobServer:
         retry_backoff_seconds: float = 0.5,
         default_timeout_seconds: float | None = None,
         default_max_attempts: int = 2,
+        stall_timeout_seconds: float | None = None,
+        circuit_threshold: int | None = 3,
+        circuit_reset_seconds: float = 60.0,
+        fault_plan: "faults.FaultPlan | None" = None,
     ) -> None:
-        self.store = JobStore(store_dir)
+        breaker = (
+            CircuitBreaker(circuit_threshold, circuit_reset_seconds)
+            if circuit_threshold is not None
+            else None
+        )
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            # Activate before the store loads: corrupt-on-read faults must
+            # already apply to the recovery scan.
+            faults.activate(fault_plan)
+        self.store = JobStore(store_dir, circuit_breaker=breaker)
         self.pool = WorkerPool(
             self.store,
             workers=workers,
@@ -172,6 +220,7 @@ class JobServer:
             rom_cache_max_bytes=rom_cache_max_bytes,
             retry_backoff_seconds=retry_backoff_seconds,
             run_fn=run_fn,
+            stall_timeout_seconds=stall_timeout_seconds,
         )
         self.host = host
         self.max_queued = max_queued
@@ -216,6 +265,11 @@ class JobServer:
         self._http.server_close()
         self._serve_thread.join(timeout=10.0)
         self._serve_thread = None
+        if self.fault_plan is not None:
+            # Wake any worker sleeping in an injected hang so shutdown joins.
+            self.fault_plan.release_hangs()
+            if faults.active_plan() is self.fault_plan:
+                faults.deactivate()
         self.pool.shutdown()
 
     def __enter__(self) -> "JobServer":
@@ -277,7 +331,12 @@ class JobServer:
             max_attempts=options.get("max_attempts", self.default_max_attempts),
             max_queued=self.max_queued,
         )
-        if created:
+        if created or job.state == "queued":
+            # Re-enqueueing a dedup hit that is still queued is harmless
+            # (workers skip entries whose job already left the queue) and it
+            # heals the orphan left by a crash-after-persist submission: the
+            # job record survived on disk but its queue entry was never made,
+            # so the client's retried submit must restore it.
             self.pool.enqueue(job)
         request._send_json(
             protocol.job_envelope(job, deduplicated=not created),
@@ -327,12 +386,18 @@ class JobServer:
         )
 
     def _stats_document(self) -> dict[str, Any]:
+        from repro.utils.serialization import count_quarantined
+
         return wrap(
             "stats",
             {
                 **self.store.stats(),
                 **self.pool.stats(),
                 "max_queued": self.max_queued,
+                # Every quarantined artifact under the store tree (job
+                # records, checkpoints, result bundles) — the ROM cache
+                # reports its own count under rom_cache.
+                "quarantined_files": count_quarantined(self.store.directory),
                 "uptime_seconds": (
                     time.time() - self._started_at if self._started_at else 0.0
                 ),

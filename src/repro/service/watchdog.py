@@ -1,0 +1,214 @@
+"""Liveness machinery of the job service: circuit breaker + worker watchdog.
+
+Two independent protections against the failure modes a long-lived solver
+service actually meets:
+
+:class:`CircuitBreaker`
+    Repeated *permanent* failures of one spec hash stop burning worker
+    attempts: after ``threshold`` consecutive failures the breaker opens and
+    further submissions of that hash fail fast with
+    :class:`~repro.errors.CircuitOpenError` (HTTP 503 + ``Retry-After``)
+    until a cooldown elapses.  The breaker then half-opens: one probe
+    submission is let through, and its outcome closes or re-trips the
+    circuit.
+
+:class:`WorkerWatchdog`
+    A worker thread hung inside a native solve (a wedged BLAS call, an
+    injected ``hang`` fault) never reaches the cooperative cancel points, so
+    a separate thread watches per-execution heartbeats.  An execution whose
+    heartbeat is staler than ``stall_timeout_seconds`` is *reaped*: the job
+    is re-queued under its retry budget (or failed with
+    :class:`~repro.errors.WorkerStalledError` once the budget is spent) and
+    a replacement worker thread is spawned.  Python cannot kill a thread, so
+    the stuck one is *abandoned* — when it eventually wakes it discards its
+    result and exits instead of double-completing the job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import CircuitOpenError
+from repro.utils.logging import get_logger
+from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports jobs)
+    from repro.service.pool import WorkerPool
+
+_logger = get_logger("service.watchdog")
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure breaker with cooldown and half-open probe.
+
+    Keys are spec hashes in the service, but the breaker is generic.  All
+    methods are thread-safe.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures of one key that open its circuit.
+    reset_seconds:
+        Cooldown before a half-open probe is allowed through.
+    """
+
+    def __init__(self, threshold: int = 3, reset_seconds: float = 60.0) -> None:
+        if threshold < 1:
+            raise ValidationError(f"threshold must be >= 1, got {threshold}")
+        if reset_seconds <= 0:
+            raise ValidationError(
+                f"reset_seconds must be positive, got {reset_seconds}"
+            )
+        self.threshold = int(threshold)
+        self.reset_seconds = float(reset_seconds)
+        self.trips = 0
+        self._lock = threading.Lock()
+        self._failures: dict[str, int] = {}
+        self._opened_at: dict[str, float] = {}
+
+    def check(self, key: str) -> None:
+        """Raise :class:`CircuitOpenError` if ``key``'s circuit is open.
+
+        After the cooldown the circuit half-opens: this call passes (once),
+        and the next :meth:`record_failure` re-trips immediately while a
+        :meth:`record_success` closes the circuit for good.
+        """
+        with self._lock:
+            opened_at = self._opened_at.get(key)
+            if opened_at is None:
+                return
+            remaining = self.reset_seconds - (time.monotonic() - opened_at)
+            if remaining > 0:
+                raise CircuitOpenError(
+                    f"circuit for spec {key} is open after "
+                    f"{self._failures.get(key, self.threshold)} consecutive "
+                    f"failures; retry in {remaining:.1f}s",
+                    detail={"spec_hash": key, "retry_after": max(1.0, remaining)},
+                )
+            # Half-open: allow this probe; one more failure re-trips at once.
+            del self._opened_at[key]
+            self._failures[key] = self.threshold - 1
+
+    def record_failure(self, key: str) -> None:
+        """Count a permanent failure of ``key``; trip at the threshold."""
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.threshold and key not in self._opened_at:
+                self._opened_at[key] = time.monotonic()
+                self.trips += 1
+                _logger.warning(
+                    "circuit breaker: opened for %s after %d consecutive "
+                    "failures (cooldown %.0fs)",
+                    key,
+                    count,
+                    self.reset_seconds,
+                )
+
+    def record_success(self, key: str) -> None:
+        """A success closes ``key``'s circuit and clears its failure count."""
+        with self._lock:
+            self._failures.pop(key, None)
+            self._opened_at.pop(key, None)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "reset_seconds": self.reset_seconds,
+                "open_circuits": len(self._opened_at),
+                "trips": self.trips,
+            }
+
+
+class WorkerWatchdog:
+    """Background thread reaping worker executions with stale heartbeats.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`~repro.service.pool.WorkerPool` whose executions are
+        watched (the pool exposes the heartbeat registry and the reap
+        operation).
+    stall_timeout_seconds:
+        Heartbeat age beyond which an execution counts as stalled.  Workers
+        beat at attempt start and at every case boundary, so the timeout
+        should comfortably exceed the longest single case solve.
+    poll_seconds:
+        Scan interval; defaults to a quarter of the stall timeout.
+    """
+
+    def __init__(
+        self,
+        pool: "WorkerPool",
+        stall_timeout_seconds: float = 300.0,
+        poll_seconds: float | None = None,
+    ) -> None:
+        if stall_timeout_seconds <= 0:
+            raise ValidationError(
+                f"stall_timeout_seconds must be positive, got {stall_timeout_seconds}"
+            )
+        self.pool = pool
+        self.stall_timeout_seconds = float(stall_timeout_seconds)
+        self.poll_seconds = (
+            float(poll_seconds)
+            if poll_seconds is not None
+            else max(0.05, self.stall_timeout_seconds / 4.0)
+        )
+        self.reaped = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "WorkerWatchdog":
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-watchdog", daemon=True
+        )
+        self._thread.start()
+        _logger.info(
+            "watchdog: watching worker heartbeats (stall after %.1fs, "
+            "poll every %.2fs)",
+            self.stall_timeout_seconds,
+            self.poll_seconds,
+        )
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.poll_seconds):
+            try:
+                self.scan_once()
+            except Exception:  # pragma: no cover - keep the watchdog alive
+                _logger.exception("watchdog: scan failed")
+
+    def scan_once(self) -> int:
+        """Reap every currently stalled execution; returns how many."""
+        reaped = 0
+        for token in self.pool.active_executions():
+            age = token.heartbeat_age()
+            if age <= self.stall_timeout_seconds:
+                continue
+            if self.pool.reap_execution(token, age):
+                reaped += 1
+        self.reaped += reaped
+        return reaped
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "stall_timeout_seconds": self.stall_timeout_seconds,
+            "poll_seconds": self.poll_seconds,
+            "reaped": self.reaped,
+        }
+
+
+__all__ = ["CircuitBreaker", "WorkerWatchdog"]

@@ -6,6 +6,8 @@ import pytest
 from repro.errors import (
     ERROR_CLASSES_BY_CODE,
     BackendError,
+    CircuitOpenError,
+    CorruptArtifactError,
     JobCancelledError,
     JobError,
     JobNotFoundError,
@@ -16,6 +18,7 @@ from repro.errors import (
     SpecConflictError,
     SpecError,
     ValidationError,
+    WorkerStalledError,
     error_envelope,
     error_from_envelope,
     http_status_for,
@@ -57,6 +60,9 @@ class TestTaxonomy:
             "queue_full": JobQueueFullError,
             "job_timeout": JobTimeoutError,
             "job_cancelled": JobCancelledError,
+            "corrupt_artifact": CorruptArtifactError,
+            "worker_stalled": WorkerStalledError,
+            "circuit_open": CircuitOpenError,
         }
         assert ERROR_CLASSES_BY_CODE == expected
 
@@ -69,9 +75,29 @@ class TestTaxonomy:
         assert http_status_for(JobCancelledError("x")) == 409
         assert http_status_for(JobQueueFullError("x")) == 429
         assert http_status_for(ReproError("x")) == 500
+        assert http_status_for(CorruptArtifactError("x")) == 500
+        assert http_status_for(CircuitOpenError("x")) == 503
         assert http_status_for(JobTimeoutError("x")) == 504
+        assert http_status_for(WorkerStalledError("x")) == 504
         # Non-taxonomy exceptions degrade to 500.
         assert http_status_for(RuntimeError("x")) == 500
+
+    def test_reliability_errors_round_trip_with_stable_codes(self):
+        # The wire contract of the self-healing layer: each new class keeps
+        # its code across envelope encode/decode and rebuilds typed.
+        for cls, code in (
+            (CorruptArtifactError, "corrupt_artifact"),
+            (WorkerStalledError, "worker_stalled"),
+            (CircuitOpenError, "circuit_open"),
+        ):
+            original = cls("why it failed", detail={"spec_hash": "abc"})
+            envelope = error_envelope(original)
+            assert envelope["error"]["code"] == code
+            rebuilt = error_from_envelope(envelope)
+            assert type(rebuilt) is cls
+            assert rebuilt.message == "why it failed"
+            assert rebuilt.detail == {"spec_hash": "abc"}
+            assert rebuilt.http_status == original.http_status
 
     def test_legacy_import_paths_are_aliases(self):
         from repro.api import SpecError as api_spec_error

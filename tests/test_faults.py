@@ -1,0 +1,203 @@
+"""Unit tests for the seeded fault-injection layer (``repro.faults``)."""
+
+import errno
+import json
+import time
+
+import pytest
+
+from repro import faults
+from repro.errors import ValidationError
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultRule,
+    SimulatedCrashError,
+    TransientFaultError,
+    fault_point,
+    injected_faults,
+)
+
+
+class TestFaultRule:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="site"):
+            FaultRule(site="", kind="crash")
+        with pytest.raises(ValidationError, match="kind"):
+            FaultRule(site="x", kind="meteor")
+        with pytest.raises(ValidationError, match="probability"):
+            FaultRule(site="x", kind="crash", probability=1.5)
+        with pytest.raises(ValidationError, match="nth"):
+            FaultRule(site="x", kind="crash", nth=0)
+        with pytest.raises(ValidationError, match="max_triggers"):
+            FaultRule(site="x", kind="crash", max_triggers=0)
+        with pytest.raises(ValidationError, match="hang_seconds"):
+            FaultRule(site="x", kind="hang", hang_seconds=-1.0)
+
+    def test_nth_implies_one_trigger(self):
+        assert FaultRule(site="x", kind="crash", nth=3).effective_max_triggers == 1
+        assert (
+            FaultRule(site="x", kind="crash", nth=3, max_triggers=5).effective_max_triggers
+            == 5
+        )
+        assert FaultRule(site="x", kind="crash").effective_max_triggers is None
+
+    def test_dict_round_trip(self):
+        rule = FaultRule(site="rom_cache.*", kind="enospc", probability=0.25, nth=None)
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_from_dict_rejects_unknown_and_missing_fields(self):
+        with pytest.raises(ValidationError, match="unknown fields"):
+            FaultRule.from_dict({"site": "x", "kind": "crash", "color": "red"})
+        with pytest.raises(ValidationError, match="missing fields"):
+            FaultRule.from_dict({"site": "x"})
+
+
+class TestFaultPlan:
+    def test_same_seed_fires_identically(self):
+        rules = ({"site": "a.*", "kind": "transient", "probability": 0.5},)
+        plans = [FaultPlan(seed=42, rules=rules) for _ in range(2)]
+        logs = []
+        for plan in plans:
+            outcomes = []
+            for _ in range(50):
+                try:
+                    plan.fire("a.site")
+                    outcomes.append(False)
+                except TransientFaultError:
+                    outcomes.append(True)
+            logs.append(outcomes)
+        assert logs[0] == logs[1]
+        assert any(logs[0]) and not all(logs[0])
+
+    def test_different_seeds_differ(self):
+        rules = ({"site": "*", "kind": "transient", "probability": 0.5},)
+
+        def trace(seed):
+            plan = FaultPlan(seed=seed, rules=rules)
+            outcomes = []
+            for _ in range(64):
+                try:
+                    plan.fire("s")
+                    outcomes.append(False)
+                except TransientFaultError:
+                    outcomes.append(True)
+            return outcomes
+
+        assert trace(1) != trace(2)
+
+    def test_nth_fires_exactly_once_on_that_call(self):
+        plan = FaultPlan(rules=({"site": "s", "kind": "crash", "nth": 3},))
+        directives = [plan.fire("s") for _ in range(6)]
+        assert directives == [None, None, "crash", None, None, None]
+        assert plan.fired == [{"site": "s", "kind": "crash", "call": 3}]
+
+    def test_max_triggers_caps_firing(self):
+        plan = FaultPlan(rules=({"site": "s", "kind": "torn_write", "max_triggers": 2},))
+        directives = [plan.fire("s") for _ in range(5)]
+        assert directives == ["torn_write", "torn_write", None, None, None]
+
+    def test_glob_site_matching(self):
+        plan = FaultPlan(rules=({"site": "fem.backends.*", "kind": "transient"},))
+        with pytest.raises(TransientFaultError):
+            plan.fire("fem.backends.gmres")
+        assert plan.fire("rom_cache.put") is None
+        assert plan.fired_counts() == {"fem.backends.gmres:transient": 1}
+
+    def test_first_matching_armed_rule_wins(self):
+        plan = FaultPlan(
+            rules=(
+                {"site": "s", "kind": "torn_write", "nth": 2},
+                {"site": "s", "kind": "crash"},
+            )
+        )
+        # Call 1: rule 1 not armed (nth=2), rule 2 fires.  Call 2: rule 1.
+        assert plan.fire("s") == "crash"
+        assert plan.fire("s") == "torn_write"
+
+    def test_oserror_kinds_raise_with_errno(self):
+        plan = FaultPlan(rules=({"site": "disk", "kind": "enospc"},))
+        with pytest.raises(OSError) as excinfo:
+            plan.fire("disk")
+        assert excinfo.value.errno == errno.ENOSPC
+        plan = FaultPlan(rules=({"site": "disk", "kind": "eio"},))
+        with pytest.raises(OSError) as excinfo:
+            plan.fire("disk")
+        assert excinfo.value.errno == errno.EIO
+
+    def test_hang_blocks_until_released(self):
+        plan = FaultPlan(rules=({"site": "s", "kind": "hang", "hang_seconds": 30.0},))
+        plan.release_hangs()  # released up-front: fire must return immediately
+        started = time.monotonic()
+        assert plan.fire("s") is None
+        assert time.monotonic() - started < 5.0
+
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan(
+            seed=7,
+            rules=(
+                {"site": "a", "kind": "crash", "nth": 1},
+                {"site": "b.*", "kind": "enospc", "probability": 0.5},
+            ),
+        )
+        rebuilt = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert rebuilt.seed == 7
+        assert rebuilt.rules == plan.rules
+
+    def test_from_dict_validation(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            FaultPlan.from_dict([1, 2])
+        with pytest.raises(ValidationError, match="unknown fields"):
+            FaultPlan.from_dict({"seed": 1, "extra": True})
+        with pytest.raises(ValidationError, match="rules must be a list"):
+            FaultPlan.from_dict({"rules": {"site": "x"}})
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_from_env_reads_inline_json_and_files(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+        document = {"seed": 3, "rules": [{"site": "s", "kind": "transient"}]}
+        monkeypatch.setenv(FAULT_PLAN_ENV, json.dumps(document))
+        assert FaultPlan.from_env().seed == 3
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps(document))
+        monkeypatch.setenv(FAULT_PLAN_ENV, str(plan_file))
+        assert FaultPlan.from_env().rules[0].site == "s"
+
+
+class TestActivation:
+    def test_fault_point_is_inert_without_a_plan(self):
+        assert faults.active_plan() is None
+        assert fault_point("any.site") is None
+
+    def test_injected_faults_activates_and_restores(self):
+        plan = FaultPlan(rules=({"site": "s", "kind": "torn_write"},))
+        with injected_faults(plan) as active:
+            assert faults.active_plan() is plan is active
+            assert fault_point("s") == "torn_write"
+        assert faults.active_plan() is None
+        assert fault_point("s") is None
+
+    def test_injected_faults_restores_on_error(self):
+        plan = FaultPlan(rules=({"site": "s", "kind": "transient"},))
+        with pytest.raises(TransientFaultError):
+            with injected_faults(plan):
+                fault_point("s")
+        assert faults.active_plan() is None
+
+    def test_activate_deactivate(self):
+        plan = FaultPlan()
+        assert faults.activate(plan) is plan
+        assert faults.active_plan() is plan
+        faults.deactivate()
+        assert faults.active_plan() is None
+
+    def test_every_kind_is_exercisable(self):
+        # Guard against new kinds being added without a firing path.
+        assert set(FAULT_KINDS) == {
+            "torn_write", "enospc", "eio", "crash", "hang", "transient",
+        }
+        assert issubclass(SimulatedCrashError, RuntimeError)
+        assert issubclass(TransientFaultError, RuntimeError)

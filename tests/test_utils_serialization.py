@@ -1,9 +1,25 @@
 """Unit tests for the npz bundle serialization helpers."""
 
+import json
+
 import numpy as np
 import pytest
 
-from repro.utils.serialization import load_npz_bundle, save_npz_bundle
+from repro.errors import CorruptArtifactError
+from repro.faults import FaultPlan, SimulatedCrashError, injected_faults
+from repro.utils.serialization import (
+    CHECKSUM_KEY,
+    QUARANTINE_DIRNAME,
+    atomic_write_bytes,
+    count_quarantined,
+    dump_json,
+    load_json,
+    load_npz_bundle,
+    quarantine_file,
+    save_npz_bundle,
+    verify_checksum,
+    with_checksum,
+)
 
 
 class TestNpzBundle:
@@ -38,3 +54,126 @@ class TestNpzBundle:
     def test_creates_parent_directories(self, tmp_path):
         path = save_npz_bundle(tmp_path / "deep" / "nested" / "file", {"x": np.ones(1)}, {})
         assert path.exists()
+
+    def test_bundle_detects_flipped_bytes(self, tmp_path):
+        path = save_npz_bundle(tmp_path / "b", {"x": np.arange(4.0)}, {"k": 1})
+        # Re-save with a changed array but the *old* metadata digest.
+        _, metadata = load_npz_bundle(path)
+        arrays = {"x": np.arange(4.0) + 1.0}
+        import repro.utils.serialization as serialization
+
+        meta = dict(metadata)
+        meta[CHECKSUM_KEY] = serialization._arrays_digest({"x": np.arange(4.0)}, meta)
+        meta_json = json.dumps(meta, sort_keys=True)
+        payload = dict(arrays)
+        payload["__metadata_json__"] = np.frombuffer(
+            meta_json.encode("utf-8"), dtype=np.uint8
+        )
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        with pytest.raises(CorruptArtifactError, match="checksum mismatch"):
+            load_npz_bundle(path)
+        arrays_unverified, _ = load_npz_bundle(path, verify=False)
+        np.testing.assert_allclose(arrays_unverified["x"], np.arange(4.0) + 1.0)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_npz_bundle(tmp_path / "a", {"x": np.ones(2)}, {})
+        dump_json(tmp_path / "d.json", {"k": 1})
+        assert list(tmp_path.glob(".tmp-*")) == []
+
+
+class TestChecksums:
+    def test_json_checksum_round_trip(self, tmp_path):
+        path = dump_json(tmp_path / "doc.json", {"a": 1, "b": [2, 3]}, checksum=True)
+        raw = json.loads(path.read_text())
+        assert CHECKSUM_KEY in raw
+        assert load_json(path) == {"a": 1, "b": [2, 3]}
+
+    def test_json_corruption_detected(self, tmp_path):
+        path = dump_json(tmp_path / "doc.json", {"a": 1}, checksum=True)
+        raw = json.loads(path.read_text())
+        raw["a"] = 2  # flip a value; keep the recorded digest
+        path.write_text(json.dumps(raw))
+        with pytest.raises(CorruptArtifactError, match="checksum mismatch"):
+            load_json(path)
+
+    def test_legacy_documents_pass_through(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"plain": True}))
+        assert load_json(path) == {"plain": True}
+        assert verify_checksum([1, 2, 3]) == [1, 2, 3]
+        assert verify_checksum({"no": "digest"}) == {"no": "digest"}
+
+    def test_with_checksum_verify_round_trip(self):
+        document = with_checksum({"x": 1})
+        assert verify_checksum(dict(document)) == {"x": 1}
+
+
+class TestQuarantine:
+    def test_quarantine_moves_file_with_reason_sidecar(self, tmp_path):
+        victim = tmp_path / "bad.json"
+        victim.write_text("garbage")
+        target = quarantine_file(victim, "test corruption")
+        assert not victim.exists()
+        assert target is not None
+        assert target.parent.name == QUARANTINE_DIRNAME
+        sidecar = target.with_name(target.name + ".reason.json")
+        record = json.loads(sidecar.read_text())
+        assert record["reason"] == "test corruption"
+        assert count_quarantined(tmp_path) == 1
+
+    def test_count_quarantined_is_recursive_and_skips_sidecars(self, tmp_path):
+        for sub in ("a", "b/c"):
+            victim = tmp_path / sub / "bad.bin"
+            victim.parent.mkdir(parents=True, exist_ok=True)
+            victim.write_bytes(b"x")
+            quarantine_file(victim, "r")
+        assert count_quarantined(tmp_path) == 2
+        assert count_quarantined(tmp_path / "missing") == 0
+
+    def test_quarantine_of_missing_file_returns_none(self, tmp_path):
+        assert quarantine_file(tmp_path / "never-existed", "r") is None
+
+
+class TestInjectedWriteFaults:
+    def test_torn_write_truncates_but_lands(self, tmp_path):
+        plan = FaultPlan(rules=({"site": "unit.write", "kind": "torn_write", "nth": 1},))
+        payload = b"x" * 100
+        with injected_faults(plan):
+            path = atomic_write_bytes(tmp_path / "f.bin", payload, fault_site="unit.write")
+        assert path.read_bytes() == b"x" * 50
+        assert list(tmp_path.glob(".tmp-*")) == []
+
+    def test_crash_raises_after_rename(self, tmp_path):
+        plan = FaultPlan(rules=({"site": "unit.write", "kind": "crash", "nth": 1},))
+        with injected_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                atomic_write_bytes(tmp_path / "f.bin", b"data", fault_site="unit.write")
+        # Rename-then-crash: the destination holds the complete payload.
+        assert (tmp_path / "f.bin").read_bytes() == b"data"
+
+    def test_torn_json_write_is_caught_by_reader(self, tmp_path):
+        plan = FaultPlan(
+            rules=({"site": "serialization.dump_json", "kind": "torn_write", "nth": 1},)
+        )
+        with injected_faults(plan):
+            path = dump_json(tmp_path / "doc.json", {"k": "v" * 64}, checksum=True)
+        with pytest.raises((CorruptArtifactError, json.JSONDecodeError, ValueError)):
+            load_json(path)
+
+    def test_torn_bundle_write_is_caught_by_reader(self, tmp_path):
+        plan = FaultPlan(
+            rules=({"site": "serialization.save_npz", "kind": "torn_write", "nth": 1},)
+        )
+        with injected_faults(plan):
+            path = save_npz_bundle(tmp_path / "b", {"x": np.ones(64)}, {"k": 1})
+        with pytest.raises(Exception):
+            load_npz_bundle(path)
+
+    def test_enospc_leaves_no_destination(self, tmp_path):
+        plan = FaultPlan(rules=({"site": "unit.write", "kind": "enospc", "nth": 1},))
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                atomic_write_bytes(tmp_path / "f.bin", b"data", fault_site="unit.write")
+        assert not (tmp_path / "f.bin").exists()
+        assert list(tmp_path.glob(".tmp-*")) == []
