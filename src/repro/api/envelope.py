@@ -52,6 +52,7 @@ ENVELOPE_KINDS = (
     "health",
     "serve",
     "chaos",
+    "lint",
 )
 
 

@@ -71,6 +71,15 @@ from repro.api import (
 )
 from repro.api.envelope import wrap
 from repro.errors import ReproError, error_envelope
+from repro.lint import (
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    LintUsageError,
+    Project as LintProject,
+    all_rules as all_lint_rules,
+    run_lint,
+    write_registry as write_fault_site_registry,
+)
 from repro.experiments.config import ConvergenceConfig, Scenario1Config, Scenario2Config
 from repro.backend import (
     ARRAY_BACKEND_ALIASES,
@@ -86,7 +95,7 @@ from repro.mesh.resolution import MeshResolution
 from repro.rom.interpolation import InterpolationScheme
 from repro.service.protocol import DEFAULT_PORT
 from repro.utils.logging import enable_console_logging
-from repro.utils.serialization import dump_json
+from repro.utils.serialization import atomic_write_bytes, dump_json
 from repro.utils.validation import ValidationError
 
 _TABLE_COMMANDS = ("table1", "table2", "table3")
@@ -557,6 +566,57 @@ def _build_parser() -> argparse.ArgumentParser:
         submit, "the result envelope (or the job record with --no-wait)"
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repro.lint invariant analyzer (see docs/INVARIANTS.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help=(
+            "files or directories to analyze "
+            "(default: src/repro under the current directory)"
+        ),
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        default=None,
+        help="run only this rule id (repeatable, e.g. --rule REP001)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE_NAME} in the current directory, when present)"
+        ),
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="do not apply the default baseline file",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    lint.add_argument(
+        "--write-registry",
+        metavar="DIR",
+        default=None,
+        help=(
+            "regenerate the fault-site registry (fault_sites.json + "
+            "fault_sites.md) into DIR and exit"
+        ),
+    )
+    _add_json_envelope_argument(lint, "the lint report")
+
     for name, help_text in (
         ("table1", "regenerate Table 1 (standalone arrays)"),
         ("table2", "regenerate Table 2 (sub-modeling)"),
@@ -746,11 +806,69 @@ def _command_spec(args: argparse.Namespace) -> int:
         return 2
     document = spec.to_json(indent=2)
     if args.output:
-        Path(args.output).write_text(document + "\n")
+        # Specs are durable artifacts (checked into repos, fed to `repro
+        # run`): write them with the same crash-safe discipline as results.
+        atomic_write_bytes(
+            Path(args.output),
+            (document + "\n").encode("utf-8"),
+            fault_site="cli.spec.write",
+        )
         print(f"spec written to {args.output}", file=sys.stderr)
     else:
         print(document)
     return 0
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    root = Path.cwd()
+    try:
+        if args.list_rules:
+            rules = all_lint_rules()
+            if args.json_path:
+                payload = {
+                    "rules": [
+                        {
+                            "id": rule.id,
+                            "name": rule.name,
+                            "severity": rule.severity,
+                            "description": rule.description,
+                        }
+                        for rule in rules
+                    ]
+                }
+                _emit_envelope(wrap("lint", payload), args.json_path)
+            else:
+                for rule in rules:
+                    print(f"{rule.id}  {rule.severity:7s} {rule.name}")
+                    print(f"       {rule.description}")
+            return 0
+        paths = [Path(p) for p in args.paths] or None
+        if args.write_registry:
+            lint_paths = paths if paths is not None else [root / "src" / "repro"]
+            for target in lint_paths:
+                resolved = target if target.is_absolute() else root / target
+                if not resolved.exists():
+                    raise LintUsageError(f"lint target does not exist: {resolved}")
+            project = LintProject.from_paths(root, lint_paths)
+            for written in write_fault_site_registry(project, args.write_registry):
+                print(f"wrote {written}", file=sys.stderr)
+            return 0
+        baseline = None
+        if args.baseline:
+            baseline = Baseline.load(Path(args.baseline))
+        elif not args.no_baseline:
+            default_baseline = root / DEFAULT_BASELINE_NAME
+            if default_baseline.is_file():
+                baseline = Baseline.load(default_baseline)
+        report = run_lint(root, paths, rule_ids=args.rules, baseline=baseline)
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json_path:
+        _emit_envelope(wrap("lint", report.to_payload()), args.json_path)
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
 
 
 def _parse_shard_grid(text: str) -> tuple[int, int]:
@@ -1102,6 +1220,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_submit(args)
     if args.command == "chaos":
         return _command_chaos(args)
+    if args.command == "lint":
+        return _command_lint(args)
     if args.command in _TABLE_COMMANDS:
         return _command_table(
             args.command,

@@ -19,6 +19,8 @@ drift the element math to float32 regardless of what they pass in.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.backend import backend_manager as bm
@@ -53,7 +55,7 @@ def gauss_points_2x2x2():
     (points, weights)
         ``points`` has shape ``(8, 3)``, ``weights`` shape ``(8,)`` (all 1.0).
     """
-    g = 1.0 / float(np.sqrt(3.0))
+    g = 1.0 / math.sqrt(3.0)
     pts = bm.array(
         [(sx * g, sy * g, sz * g) for sz in (-1, 1) for sy in (-1, 1) for sx in (-1, 1)],
         dtype=bm.ftype,

@@ -100,6 +100,7 @@ class FieldEvaluator:
         numpy.ndarray
             Displacements of shape ``(n, 3)``.
         """
+        # backend-seam: host-side points/DOF arrays enter here; kernels below run on bm
         points = np.atleast_2d(np.asarray(points, dtype=float))
         displacement = self._check_displacement(displacement)
         element_ids, local = self.mesh.locate_points(points)
@@ -115,6 +116,7 @@ class FieldEvaluator:
     # ------------------------------------------------------------------ #
     def strain_at(self, points: np.ndarray, displacement: np.ndarray) -> np.ndarray:
         """Evaluate the Voigt strain (engineering shear) at arbitrary points."""
+        # backend-seam: host-side points/DOF arrays enter here; kernels below run on bm
         points = np.atleast_2d(np.asarray(points, dtype=float))
         displacement = self._check_displacement(displacement)
         element_ids, local = self.mesh.locate_points(points)
@@ -148,6 +150,7 @@ class FieldEvaluator:
         to; the thermal eigenstrain of the element material is subtracted
         before applying Hooke's law.
         """
+        # backend-seam: host-side points/DOF arrays enter here; kernels below run on bm
         points = np.atleast_2d(np.asarray(points, dtype=float))
         strain = bm.asarray(self.strain_at(points, displacement), dtype=bm.ftype)
         element_ids, _ = self.mesh.locate_points(points)

@@ -1,0 +1,162 @@
+"""REP001 — atomic-write discipline.
+
+Every durable artifact must be written through the fsync'd write-to-temp /
+rename helpers in :mod:`repro.utils.serialization` (``atomic_write_bytes``,
+``dump_json``, ``save_npz_bundle``).  A bare ``open(path, "w")``,
+``json.dump``, ``Path.write_text`` or ``np.savez`` anywhere else can tear on
+crash and silently undoes the chaos harness's guarantees.
+
+The rule flags, outside the serialization module itself:
+
+* ``open(...)`` / ``path.open(...)`` with a write/append/create mode,
+* ``json.dump(...)`` (``json.dumps`` is fine — it produces a string),
+* ``numpy`` save functions (``np.save`` / ``np.savez`` / ``np.savez_compressed``
+  / ``np.savetxt`` *with a path argument*; streaming ``np.savetxt`` into an
+  already-open handle is the caller's write, and is judged at the ``open``),
+* ``Path.write_text`` / ``Path.write_bytes`` style calls.
+
+Memory-bounded *export streams* (e.g. the VTK writer, which streams a
+multi-hundred-MB regenerable visualization artifact) are a recognised
+exception — mark them with an inline suppression explaining the
+classification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    call_keyword,
+    dotted_name,
+    register_rule,
+)
+
+#: The module that owns the atomic-write primitives; exempt by definition.
+EXEMPT_SUFFIXES = ("repro/utils/serialization.py",)
+
+_WRITE_MODES = ("w", "a", "x", "r+", "+")
+
+_NUMPY_SAVERS = {"save", "savez", "savez_compressed", "savetxt"}
+
+
+def _is_write_mode(mode: str) -> bool:
+    return mode.startswith(("w", "a", "x")) or "+" in mode
+
+
+def _open_mode(call: ast.Call, arg_index: int) -> str | None:
+    """The literal mode argument of an ``open``-style call, if present."""
+    if len(call.args) > arg_index:
+        node = call.args[arg_index]
+    else:
+        node = call_keyword(call, "mode")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register_rule
+class AtomicWriteRule(Rule):
+    id = "REP001"
+    name = "atomic-write-discipline"
+    severity = "error"
+    description = (
+        "durable writes must use repro.utils.serialization (atomic_write_bytes, "
+        "dump_json, save_npz_bundle); bare open(.., 'w')/json.dump/np.savez "
+        "can tear on crash"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if any(module.is_at(suffix) for suffix in EXEMPT_SUFFIXES):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._classify_call(module, node)
+            if finding is not None:
+                yield finding
+
+    def _classify_call(self, module: Module, call: ast.Call) -> Finding | None:
+        # Bare builtin open(path, "w"/"a"/"x")
+        if isinstance(call.func, ast.Name):
+            if call.func.id == "open":
+                mode = _open_mode(call, 1)
+                if mode is not None and _is_write_mode(mode):
+                    return self.finding(
+                        module,
+                        call.lineno,
+                        f"non-atomic write: open(..., {mode!r}) outside "
+                        "utils.serialization — use atomic_write_bytes/dump_json",
+                    )
+            return None
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        # Method calls: resolve the leaf name even when the receiver is a
+        # call result (``Path(x).write_text(...)`` has no dotted name).
+        tail = call.func.attr
+        head = dotted_name(call.func.value) or type(call.func.value).__name__
+        name = f"{head}.{tail}"
+        # path.open("w") method calls
+        if tail == "open":
+            mode = _open_mode(call, 0)
+            if mode is not None and _is_write_mode(mode):
+                return self.finding(
+                    module,
+                    call.lineno,
+                    f"non-atomic write: {head}.open({mode!r}) outside "
+                    "utils.serialization — use atomic_write_bytes/dump_json",
+                )
+            return None
+        # json.dump(obj, handle)
+        if name == "json.dump":
+            return self.finding(
+                module,
+                call.lineno,
+                "non-atomic write: json.dump to an open handle — use "
+                "utils.serialization.dump_json (atomic, fsync'd, checksummed)",
+            )
+        # Path.write_text / write_bytes style calls
+        if tail in {"write_text", "write_bytes"}:
+            return self.finding(
+                module,
+                call.lineno,
+                f"non-atomic write: {tail}() can tear on crash — use "
+                "utils.serialization.atomic_write_bytes",
+            )
+        # numpy savers with a path-like first argument
+        if head in {"np", "numpy"} and tail in _NUMPY_SAVERS:
+            if tail == "savetxt" and self._is_stream_target(call):
+                return None
+            return self.finding(
+                module,
+                call.lineno,
+                f"non-atomic write: {head}.{tail} outside utils.serialization "
+                "— use save_npz_bundle (atomic, checksummed) or stream into "
+                "an atomically-managed handle",
+            )
+        return None
+
+    @staticmethod
+    def _is_stream_target(call: ast.Call) -> bool:
+        """``np.savetxt(handle, ...)`` into a variable is a stream write."""
+        if not call.args:
+            return False
+        target = call.args[0]
+        # A bare name (an open handle) is a stream; a string/Path literal or
+        # a Path(...) construction is a durable path target.
+        if isinstance(target, ast.Constant):
+            return False
+        if isinstance(target, ast.Call):
+            return False
+        return True
+
+
+__all__ = ["AtomicWriteRule"]

@@ -1,0 +1,124 @@
+"""REP002 — fault-site coverage.
+
+The chaos harness can only exercise failures that are wired as
+:func:`repro.faults.fault_point` sites.  This rule keeps the wiring honest
+in both directions:
+
+* **Durable-write helpers must carry a site.**  In the serialization module,
+  any function that performs the commit step of an atomic write (an
+  ``os.replace``) must either call ``fault_point`` or accept a ``fault_site``
+  parameter, so crash-consistency tests can target it.  (The quarantine
+  helper is a recognised exception — it *is* the failure handler.)
+* **Chaos globs must match something.**  Every ``site`` glob used in a
+  :class:`repro.faults.FaultRule` inside ``repro/chaos.py`` must fnmatch at
+  least one statically-registered site; a typo'd glob otherwise injects
+  nothing and the scenario silently tests the happy path.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    call_keyword,
+    const_str,
+    dotted_name,
+    register_rule,
+)
+from repro.lint.fault_sites import extract_fault_sites
+
+SERIALIZATION_SUFFIX = "repro/utils/serialization.py"
+CHAOS_SUFFIX = "repro/chaos.py"
+
+
+def _function_has_site(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "fault_site":
+            return True
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.rpartition(".")[2] == "fault_point":
+                return True
+            if call_keyword(node, "fault_site") is not None:
+                return True
+    return False
+
+
+def _commits_durable_write(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if dotted_name(node.func) == "os.replace":
+                return True
+    return False
+
+
+def _iter_chaos_globs(module: Module) -> Iterator[tuple[str, int]]:
+    """``site`` globs from FaultRule(...) calls and {"site": ...} literals."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.rpartition(".")[2] == "FaultRule":
+                site = const_str(call_keyword(node, "site"))
+                if site is None and node.args:
+                    site = const_str(node.args[0])
+                if site is not None:
+                    yield site, node.lineno
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if const_str(key) == "site":
+                    site = const_str(value)
+                    if site is not None:
+                        yield site, value.lineno
+
+
+@register_rule
+class FaultSiteCoverageRule(Rule):
+    id = "REP002"
+    name = "fault-site-coverage"
+    severity = "error"
+    description = (
+        "durable-write helpers must expose a fault_point site; chaos-scenario "
+        "site globs must match >=1 statically-registered site"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registered = extract_fault_sites(project)
+
+        serialization = project.module_at(SERIALIZATION_SUFFIX)
+        if serialization is not None:
+            for node in ast.walk(serialization.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _commits_durable_write(node) and not _function_has_site(node):
+                    yield self.finding(
+                        serialization,
+                        node.lineno,
+                        f"durable-write helper {node.name}() commits with "
+                        "os.replace but has no fault_point site / fault_site "
+                        "parameter — crash-consistency tests cannot target it",
+                    )
+
+        chaos = project.module_at(CHAOS_SUFFIX)
+        if chaos is not None and registered:
+            site_ids = list(registered)
+            for glob, line in _iter_chaos_globs(chaos):
+                if not any(fnmatch(site, glob) for site in site_ids):
+                    yield self.finding(
+                        chaos,
+                        line,
+                        f"fault glob {glob!r} matches no registered fault site "
+                        "— the scenario injects nothing (known sites: "
+                        + ", ".join(sorted(site_ids))
+                        + ")",
+                    )
+
+
+__all__ = ["FaultSiteCoverageRule"]

@@ -1,0 +1,111 @@
+"""REP003 — backend purity in ``bm``-ported modules.
+
+The array-backend seam (:mod:`repro.backend`) only delivers portability if
+the ported numerical modules stay pure: every array op goes through ``bm``,
+and host-side numpy appears only at documented ``bm.asnumpy()`` boundaries.
+A stray ``np.sqrt`` in a kernel silently forces a device→host round-trip on
+the torch backend (or crashes on non-numpy arrays).
+
+Scope: the rule checks each *innermost function* in the target modules.  A
+function that uses ``bm`` must not also use raw ``np.`` / ``numpy.``
+attributes, except on lines annotated ``# backend-seam`` (on the line or the
+comment line directly above).  Functions that never touch ``bm`` are host-side
+helpers and are left alone, as are type annotations and module-level
+constants (which are evaluated once at import, on the host, by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    annotation_nodes,
+    register_rule,
+    walk_scoped,
+)
+
+#: Modules ported to the ``bm`` array-backend seam.
+TARGET_SUFFIXES = (
+    "repro/fem/element.py",
+    "repro/fem/fields.py",
+    "repro/fem/sampling.py",
+    "repro/rom/reconstruction.py",
+    "repro/postprocess/fields.py",
+)
+
+SEAM_MARKER = "backend-seam"
+
+_NUMPY_NAMES = {"np", "numpy"}
+
+
+def _line_is_seam(module: Module, line: int) -> bool:
+    if SEAM_MARKER in module.line(line):
+        return True
+    above = module.line(line - 1).strip()
+    return above.startswith("#") and SEAM_MARKER in above
+
+
+def _is_function(node: ast.AST) -> bool:
+    return isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+
+
+@register_rule
+class BackendPurityRule(Rule):
+    id = "REP003"
+    name = "backend-purity"
+    severity = "error"
+    description = (
+        "bm-ported modules must not mix raw numpy into bm-using functions "
+        "except at '# backend-seam' annotated asnumpy() boundaries"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not any(module.is_at(suffix) for suffix in TARGET_SUFFIXES):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self,
+        module: Module,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        # Innermost scope only: nested functions are their own scope.
+        scoped = list(walk_scoped(func, skip=_is_function))
+        skip_ids = annotation_nodes(func)
+        uses_bm = any(
+            isinstance(node, ast.Name) and node.id == "bm" for node in scoped
+        )
+        if not uses_bm:
+            return
+        for node in scoped:
+            if not isinstance(node, ast.Attribute):
+                continue
+            if id(node) in skip_ids or id(node.value) in skip_ids:
+                continue
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id in _NUMPY_NAMES
+                and not _line_is_seam(module, node.lineno)
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"raw numpy ({node.value.id}.{node.attr}) in bm-using "
+                    f"function {func.name}() — route through bm, or annotate "
+                    f"the host boundary with '# {SEAM_MARKER}'",
+                )
+
+
+__all__ = ["BackendPurityRule"]

@@ -1,0 +1,185 @@
+"""REP004 — error-taxonomy completeness.
+
+The service wire contract (:mod:`repro.errors`) maps every failure to a
+stable ``code`` and ``http_status``.  That only holds if (a) every taxonomy
+class is actually registered in ``ERROR_CLASSES_BY_CODE`` and (b) code
+reachable from the service layer and the CLI raises taxonomy errors, never
+bare ``Exception`` / ``RuntimeError`` — a bare raise surfaces as an opaque
+500 with no machine-readable code.
+
+Checks:
+
+* In ``repro/errors.py``: every class that subclasses the taxonomy root and
+  defines a ``code`` must appear in the registry tuple feeding
+  ``ERROR_CLASSES_BY_CODE``.
+* In ``repro/service/**`` and ``repro/cli.py``: every ``raise X(...)`` where
+  ``X`` resolves to a known non-taxonomy exception name is an error.
+  Re-raises (``raise``), raising caught variables, and
+  ``argparse.ArgumentTypeError`` (argparse maps it to a usage error, exit
+  code 2) are allowed.  Deliberate non-taxonomy raises (injected fault
+  types, internal control-flow sentinels) carry inline suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+ERRORS_SUFFIX = "repro/errors.py"
+TAXONOMY_ROOT = "ReproError"
+REGISTRY_NAME = "ERROR_CLASSES_BY_CODE"
+
+#: Non-taxonomy exceptions that are fine to raise from scoped modules.
+ALLOWED_RAISES = {
+    "ArgumentTypeError",  # argparse converts to a usage error (exit 2)
+    "LintUsageError",  # the lint CLI maps it to the usage exit code (2)
+    "error_from_envelope",  # taxonomy factory: rehydrates a registered class
+    "StopIteration",
+    "KeyboardInterrupt",
+    "SystemExit",
+    "TimeoutError",  # stdlib futures timeout, caught in-process by callers
+}
+
+#: Builtin / stdlib exception names we can resolve statically.  Anything not
+#: in the taxonomy and not allowed is a finding; unknown names (local classes)
+#: are reported too, which is the point — they have no wire code.
+_SCOPE_MARKERS = ("repro/service/", "repro/cli.py")
+
+
+def _in_scope(rel: str) -> bool:
+    return any(marker in rel or rel.endswith(marker) for marker in _SCOPE_MARKERS)
+
+
+def _taxonomy_classes(errors_module: Module) -> dict[str, ast.ClassDef]:
+    """Classes transitively subclassing the taxonomy root, by name."""
+    classes = {
+        node.name: node
+        for node in ast.walk(errors_module.tree)
+        if isinstance(node, ast.ClassDef)
+    }
+    taxonomy: dict[str, ast.ClassDef] = {}
+
+    def descends(name: str, seen: frozenset[str]) -> bool:
+        if name == TAXONOMY_ROOT:
+            return True
+        node = classes.get(name)
+        if node is None or name in seen:
+            return False
+        return any(
+            isinstance(base, ast.Name) and descends(base.id, seen | {name})
+            for base in node.bases
+        )
+
+    for name, node in classes.items():
+        if descends(name, frozenset()):
+            taxonomy[name] = node
+    return taxonomy
+
+
+def _registered_names(errors_module: Module) -> set[str] | None:
+    """Class names in the tuple/list/dict feeding the code registry."""
+    for node in ast.walk(errors_module.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if REGISTRY_NAME not in targets and not any(
+            t.startswith("_ERROR") or t.startswith("ERROR") for t in targets
+        ):
+            continue
+        names = {
+            child.id
+            for child in ast.walk(node.value)
+            if isinstance(child, ast.Name)
+        }
+        if names:
+            return names
+    return None
+
+
+def _defines_code(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "code" for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "code":
+                return True
+    return False
+
+
+@register_rule
+class ErrorTaxonomyRule(Rule):
+    id = "REP004"
+    name = "error-taxonomy-completeness"
+    severity = "error"
+    description = (
+        "service/- and cli-reachable raises must use registered ReproError "
+        "subclasses (stable code + http_status); no bare Exception"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        errors_module = project.module_at(ERRORS_SUFFIX)
+        taxonomy: set[str] = set()
+        if errors_module is not None:
+            classes = _taxonomy_classes(errors_module)
+            taxonomy = set(classes)
+            registered = _registered_names(errors_module)
+            if registered is not None:
+                for name, node in sorted(classes.items()):
+                    if name == TAXONOMY_ROOT:
+                        continue
+                    if _defines_code(node) and name not in registered:
+                        yield self.finding(
+                            errors_module,
+                            node.lineno,
+                            f"taxonomy class {name} defines a wire code but is "
+                            f"missing from {REGISTRY_NAME} — "
+                            "error_from_envelope cannot rehydrate it",
+                        )
+
+        if not taxonomy:
+            # Without the taxonomy module there is nothing to resolve against.
+            return
+
+        for module in project.modules:
+            if not _in_scope(module.rel):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                yield from self._check_raise(module, node, taxonomy)
+
+    def _check_raise(
+        self, module: Module, node: ast.Raise, taxonomy: set[str]
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            name = dotted_name(exc.func)
+        else:
+            # `raise err` re-raising a variable: allowed (origin is checked
+            # where the exception was constructed).
+            return
+        if name is None:
+            return
+        leaf = name.rpartition(".")[2]
+        if leaf in taxonomy or leaf in ALLOWED_RAISES:
+            return
+        yield self.finding(
+            module,
+            node.lineno,
+            f"raise {leaf}(...) from service-reachable code — not a "
+            "registered ReproError subclass, so it surfaces as an opaque "
+            "500 with no stable error code",
+        )
+
+
+__all__ = ["ErrorTaxonomyRule"]

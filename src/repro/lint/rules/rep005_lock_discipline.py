@@ -1,0 +1,308 @@
+"""REP005 — lock discipline in the threaded service layer.
+
+The service layer shares mutable state between HTTP handler threads, worker
+threads and the watchdog thread.  The convention is per-class: state touched
+under a ``threading.Lock``/``RLock`` belongs to that lock, always.  A read
+outside the lock sees torn state; a ``+=`` outside the lock loses updates.
+
+For every class (in the scoped modules) that owns a threading primitive:
+
+* **Guard discovery** — an attribute is *guarded by lock L* when, outside
+  ``__init__``, it is mutated (assigned, ``+=``, subscript-stored, or the
+  receiver of a mutating method such as ``.append``/``.pop``) inside a
+  ``with self.L:`` block.
+* **Consistency** — every other access to a guarded attribute (mutation *or*
+  plain read) outside ``__init__`` must hold the same lock.  Private helpers
+  whose callers hold the lock carry an inline suppression naming the caller,
+  which documents the invariant in the source.
+* **Unprotected counters** — any ``self.x += ...`` outside every lock (and
+  outside ``__init__``) in a lock-owning class is a lost-update bug even if
+  the attribute is not otherwise guarded.
+* **Nested acquisition order** — taking lock B while holding A fixes the
+  order A→B for the class; a ``with self.B: ... with self.A:`` elsewhere is
+  a deadlock waiting for contention, and is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.lint.core import (
+    Finding,
+    Module,
+    Project,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+#: Threaded modules whose classes are held to the lock-discipline contract.
+TARGET_SUFFIXES = (
+    "repro/service/pool.py",
+    "repro/service/jobs.py",
+    "repro/rom/cache.py",
+    "repro/service/watchdog.py",
+)
+
+_LOCK_FACTORIES = {"Lock", "RLock"}
+_THREAD_PRIMITIVES = {"Lock", "RLock", "Event", "Condition", "Semaphore", "BoundedSemaphore"}
+_INIT_METHODS = {"__init__", "__post_init__", "__new__"}
+_MUTATING_METHODS = {
+    "append",
+    "add",
+    "discard",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "extend",
+    "insert",
+    "setdefault",
+}
+
+
+@dataclass
+class _Access:
+    attr: str
+    line: int
+    locks: tuple[str, ...]  # locks held (innermost last)
+    is_mutation: bool
+    method: str
+
+
+@dataclass
+class _ClassModel:
+    name: str
+    lock_attrs: set[str] = field(default_factory=set)
+    primitive_attrs: set[str] = field(default_factory=set)
+    accesses: list[_Access] = field(default_factory=list)
+    lock_orders: dict[tuple[str, str], int] = field(default_factory=dict)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _with_lock_attrs(stmt: ast.With) -> list[str]:
+    attrs = []
+    for item in stmt.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None:
+            attrs.append(attr)
+    return attrs
+
+
+class _MethodScanner:
+    """Collect self-attribute accesses with the lock stack held at each."""
+
+    def __init__(self, model: _ClassModel, method: str) -> None:
+        self.model = model
+        self.method = method
+
+    def scan(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for stmt in func.body:
+            self._visit(stmt, ())
+
+    def _visit(self, node: ast.AST, locks: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested scope: analysed separately / out of scope
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            held = [a for a in _with_lock_attrs(node) if a in self.model.lock_attrs]
+            new_locks = locks
+            for lock in held:
+                for outer in new_locks:
+                    if outer != lock:
+                        self.model.lock_orders.setdefault(
+                            (outer, lock), node.lineno
+                        )
+                new_locks = new_locks + (lock,)
+            for item in node.items:
+                self._visit(item.context_expr, locks)
+                if item.optional_vars is not None:
+                    self._visit(item.optional_vars, locks)
+            for child in node.body:
+                self._visit(child, new_locks)
+            return
+        self._record(node, locks)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, locks)
+
+    def _record(self, node: ast.AST, locks: tuple[str, ...]) -> None:
+        attr: str | None = None
+        is_mutation = False
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._record_target(target, locks)
+            return
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            self._record_target(node.target, locks)
+            return
+        if isinstance(node, ast.Call):
+            # self.attr.append(...) style mutation
+            func_attr = node.func
+            if (
+                isinstance(func_attr, ast.Attribute)
+                and func_attr.attr in _MUTATING_METHODS
+            ):
+                attr = _self_attr(func_attr.value)
+                if attr is not None:
+                    is_mutation = True
+        elif isinstance(node, ast.Subscript):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                attr = _self_attr(node.value)
+                if attr is not None:
+                    is_mutation = True
+        elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            attr = _self_attr(node)
+            if attr is None:
+                return
+        if attr is not None:
+            self.model.accesses.append(
+                _Access(attr, node.lineno, locks, is_mutation, self.method)
+            )
+
+    def _record_target(self, target: ast.AST, locks: tuple[str, ...]) -> None:
+        attr = _self_attr(target)
+        if attr is not None:
+            self.model.accesses.append(
+                _Access(attr, target.lineno, locks, True, self.method)
+            )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, locks)
+        elif isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+            if attr is not None:
+                self.model.accesses.append(
+                    _Access(attr, target.lineno, locks, True, self.method)
+                )
+
+
+def _build_model(node: ast.ClassDef) -> _ClassModel:
+    model = _ClassModel(name=node.name)
+    # Pass 1: find lock / primitive attributes (usually assigned in __init__).
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) and isinstance(child.value, ast.Call):
+            factory = dotted_name(child.value.func)
+            if factory is None:
+                continue
+            leaf = factory.rpartition(".")[2]
+            for target in child.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                if leaf in _LOCK_FACTORIES:
+                    model.lock_attrs.add(attr)
+                    model.primitive_attrs.add(attr)
+                elif leaf in _THREAD_PRIMITIVES:
+                    model.primitive_attrs.add(attr)
+    # Pass 2: scan direct methods (not nested classes).
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name in _INIT_METHODS:
+                continue
+            _MethodScanner(model, stmt.name).scan(stmt)
+    return model
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    id = "REP005"
+    name = "lock-discipline"
+    severity = "error"
+    description = (
+        "lock-guarded attributes must only be touched under their lock; "
+        "counters in threaded classes need a lock; nested lock order must "
+        "be consistent"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not any(module.is_at(suffix) for suffix in TARGET_SUFFIXES):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(module, node)
+
+    def _check_class(self, module: Module, node: ast.ClassDef) -> Iterator[Finding]:
+        model = _build_model(node)
+        if not model.primitive_attrs:
+            return
+
+        # AST shapes overlap (a subscript store is seen via the Assign target
+        # and again as the Subscript node): dedup per (attr, line), keeping
+        # the mutation record when both a load and a mutation land there.
+        deduped: dict[tuple[str, int], _Access] = {}
+        for access in model.accesses:
+            key = (access.attr, access.line)
+            existing = deduped.get(key)
+            if existing is None or (access.is_mutation and not existing.is_mutation):
+                deduped[key] = access
+        accesses = list(deduped.values())
+
+        # Guard discovery: attribute -> lock it was mutated under.
+        guards: dict[str, str] = {}
+        for access in accesses:
+            if access.is_mutation and access.locks:
+                guards.setdefault(access.attr, access.locks[-1])
+
+        for access in accesses:
+            if access.attr in model.primitive_attrs:
+                continue
+            guard = guards.get(access.attr)
+            if guard is not None and guard not in access.locks:
+                verb = "mutated" if access.is_mutation else "read"
+                yield self.finding(
+                    module,
+                    access.line,
+                    f"{model.name}.{access.attr} is guarded by "
+                    f"self.{guard} but {verb} without it in {access.method}()",
+                )
+            elif (
+                guard is None
+                and access.is_mutation
+                and not access.locks
+                and self._is_counter_mutation(module, access)
+            ):
+                yield self.finding(
+                    module,
+                    access.line,
+                    f"unprotected counter update {model.name}.{access.attr} "
+                    f"in threaded class (lost updates under contention) — "
+                    "guard it with one of: "
+                    + ", ".join(f"self.{a}" for a in sorted(model.lock_attrs)),
+                )
+
+        # Nested-order consistency.
+        for (outer, inner), line in sorted(model.lock_orders.items()):
+            if (inner, outer) in model.lock_orders:
+                other = model.lock_orders[(inner, outer)]
+                if line < other:
+                    continue  # report each inverted pair once, at 2nd site
+                yield self.finding(
+                    module,
+                    line,
+                    f"inconsistent lock order in {model.name}: "
+                    f"self.{inner} -> self.{outer} here but "
+                    f"self.{outer} -> self.{inner} at line {other} — "
+                    "deadlock under contention",
+                )
+
+    @staticmethod
+    def _is_counter_mutation(module: Module, access: _Access) -> bool:
+        """Only AugAssign (`+=`) mutations count as counter updates."""
+        text = module.line(access.line)
+        return "+=" in text or "-=" in text
+
+
+__all__ = ["LockDisciplineRule"]

@@ -1,0 +1,146 @@
+"""REP006 — schema-version discipline.
+
+A ``*_VERSION`` literal is a public promise: bumping it without a migration
+branch strands every artifact already on disk, and without a migration test
+the branch rots.  For every module-level ``SCHEMA_VERSION`` /
+``ENVELOPE_VERSION`` style constant with a value above 1 the rule requires:
+
+* a companion ``SUPPORTED_*_VERSIONS`` sequence in the same module that
+  still lists at least one *older* version (the migration branch exists), and
+* a ``test_*migration*`` test function whose body (or module) references the
+  constant or its companion by name (the migration branch is exercised).
+
+Version 1 constants are exempt — there is nothing to migrate from yet.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.core import Finding, Module, Project, Rule, register_rule
+
+_VERSION_NAME_RE = re.compile(r"^[A-Z0-9_]*(SCHEMA|ENVELOPE)_VERSION$")
+_SUPPORTED_NAME_RE = re.compile(r"^SUPPORTED_[A-Z0-9_]*VERSIONS$")
+_MIGRATION_FUNC_RE = re.compile(r"^test_.*migration", re.IGNORECASE)
+
+
+def _module_version_constants(module: Module) -> list[tuple[str, int, int]]:
+    """``(name, value, line)`` for schema-version literals in a module."""
+    found = []
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and _VERSION_NAME_RE.match(target.id)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+            ):
+                found.append((target.id, node.value.value, node.lineno))
+    return found
+
+
+def _supported_versions(module: Module) -> dict[str, list[int]]:
+    supported: dict[str, list[int]] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not (
+                isinstance(target, ast.Name)
+                and _SUPPORTED_NAME_RE.match(target.id)
+            ):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                values = [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, int)
+                ]
+                supported[target.id] = values
+    return supported
+
+
+def _migration_tests(project: Project) -> list[tuple[Module, ast.FunctionDef]]:
+    tests = []
+    for module in project.test_modules:
+        for node in ast.walk(module.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and _MIGRATION_FUNC_RE.match(node.name):
+                tests.append((module, node))
+    return tests
+
+
+@register_rule
+class SchemaVersionRule(Rule):
+    id = "REP006"
+    name = "schema-version-discipline"
+    severity = "error"
+    description = (
+        "schema_version literals above 1 require a SUPPORTED_*_VERSIONS "
+        "migration branch and a test_*migration* test referencing them"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        migration_tests = _migration_tests(project)
+        for module in project.modules:
+            constants = _module_version_constants(module)
+            if not constants:
+                continue
+            supported = _supported_versions(module)
+            for name, value, line in constants:
+                if value <= 1:
+                    continue
+                yield from self._check_constant(
+                    project, module, name, value, line, supported, migration_tests
+                )
+
+    def _check_constant(
+        self,
+        project: Project,
+        module: Module,
+        name: str,
+        value: int,
+        line: int,
+        supported: dict[str, list[int]],
+        migration_tests: list[tuple[Module, ast.FunctionDef]],
+    ) -> Iterator[Finding]:
+        older = [
+            v
+            for versions in supported.values()
+            for v in versions
+            if v < value
+        ]
+        if not supported or not older:
+            yield self.finding(
+                module,
+                line,
+                f"{name} = {value} has no SUPPORTED_*_VERSIONS migration "
+                "branch listing an older version — artifacts written by "
+                "previous builds become unreadable",
+            )
+        referenced = False
+        names_to_find = {name, *supported.keys()}
+        for test_module, func in migration_tests:
+            segment = ast.get_source_segment(test_module.source, func) or ""
+            if any(target in segment for target in names_to_find) or any(
+                target in test_module.source for target in names_to_find
+            ):
+                referenced = True
+                break
+        if not referenced:
+            yield self.finding(
+                module,
+                line,
+                f"{name} = {value} is not exercised by any test_*migration* "
+                "test — add one that loads an older-version artifact and "
+                "asserts the migration result",
+            )
+
+
+__all__ = ["SchemaVersionRule"]

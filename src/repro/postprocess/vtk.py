@@ -40,6 +40,12 @@ def write_vtk_rectilinear(
         path = path.with_suffix(path.suffix + ".vtk")
     path.parent.mkdir(parents=True, exist_ok=True)
     nx, ny, nz = field.shape
+    # Export stream, not a durable artifact: the VTK file is a regenerable
+    # visualization export (rebuilt from the .npz bundle at any time) whose
+    # size can reach hundreds of MB, so it is streamed section by section
+    # instead of being buffered for an atomic rename.  Readers that need
+    # crash-safe artifacts use the checksummed .npz bundle next to it.
+    # repro-lint: disable=REP001 -- export stream: regenerable visualization output, streamed to bound memory; the durable artifact is the .npz bundle
     with path.open("w", encoding="ascii") as handle:
         handle.write("# vtk DataFile Version 3.0\n")
         handle.write(f"{title.splitlines()[0] if title else 'repro field export'}\n")

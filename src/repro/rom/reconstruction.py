@@ -137,6 +137,7 @@ class BlockFieldSampler:
         and :meth:`stress_from_fine` halves the reconstruction cost when both
         fields are sampled (the full-field export path).
         """
+        # backend-seam: host-side points/DOF arrays enter here; kernels below run on bm
         fine_displacement = np.asarray(fine_displacement, dtype=float).ravel()
         if fine_displacement.size != self.rom.mesh.num_dofs:
             raise ValidationError(
@@ -157,6 +158,7 @@ class BlockFieldSampler:
 
     def stress_from_fine(self, fine_displacement: np.ndarray, delta_t: float) -> np.ndarray:
         """Voigt stress at the sample points from a fine-mesh displacement vector."""
+        # backend-seam: host-side points/DOF arrays enter here; kernels below run on bm
         fine_displacement = np.asarray(fine_displacement, dtype=float).ravel()
         if fine_displacement.size != self.rom.mesh.num_dofs:
             raise ValidationError(

@@ -32,6 +32,7 @@ from repro.errors import (
     error_from_envelope,
 )
 from repro.service import protocol
+from repro.utils.serialization import atomic_write_bytes
 
 _DEFAULT_POLL_SECONDS = 0.1
 
@@ -185,12 +186,17 @@ class ServiceClient:
         return self._request("GET", f"/jobs/{job_id}/result")
 
     def fetch_fields(self, job_id: str, destination: str | Path) -> Path:
-        """Download the job's ``fields.npz`` bundle to ``destination``."""
+        """Download the job's ``fields.npz`` bundle to ``destination``.
+
+        The bundle lands atomically: a crash mid-download leaves either the
+        previous file or nothing, never a torn ``.npz`` that poisons later
+        reads.
+        """
         payload = self._request("GET", f"/jobs/{job_id}/fields", raw=True)
         destination = Path(destination)
-        destination.parent.mkdir(parents=True, exist_ok=True)
-        destination.write_bytes(payload)
-        return destination
+        return atomic_write_bytes(
+            destination, payload, fault_site="client.fetch_fields"
+        )
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         """Request cancellation; returns the (possibly already-updated) job."""

@@ -211,14 +211,19 @@ class JobStore:
                     exc,
                 )
                 quarantine_file(path, f"job record failed to load: {exc}")
-                self.quarantined += 1
+                # Under the lock even though _load runs from __init__: the
+                # counter and job map belong to self._lock, always — the
+                # RLock is uncontended here, so consistency costs nothing.
+                with self._lock:
+                    self.quarantined += 1
                 continue
             except OSError as exc:
                 _logger.warning(
                     "job store: skipping unreadable %s (%s)", path.name, exc
                 )
                 continue
-            self._jobs[job.id] = job
+            with self._lock:
+                self._jobs[job.id] = job
 
     def _persist(self, job: Job, *, critical: bool = False) -> None:
         """Write the job record; degrade non-critical persist failures.
@@ -335,9 +340,13 @@ class JobStore:
             return job, True
 
     def _find_attachable(self, spec_hash: str) -> Job | None:
-        """The queued/running/done job a duplicate submission attaches to."""
+        """The queued/running/done job a duplicate submission attaches to.
+
+        Callers hold ``self._lock`` (the only call site is ``submit``).
+        """
         candidates = [
             job
+            # repro-lint: disable=REP005 -- caller holds self._lock (only called from submit's locked section)
             for job in self._jobs.values()
             if job.spec_hash == spec_hash and job.state in ("queued", "running", "done")
         ]

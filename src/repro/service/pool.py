@@ -91,6 +91,7 @@ class ExecutionToken:
 
     def check_abandoned(self) -> None:
         if self.abandoned.is_set():
+            # repro-lint: disable=REP004 -- internal control-flow sentinel; caught in _worker(), never escapes the pool
             raise _AbandonedExecution(f"job {self.job.id}: execution abandoned")
 
 
@@ -192,12 +193,17 @@ class WorkerPool:
         self.retry_backoff_seconds = float(retry_backoff_seconds)
         self._run_fn = run_fn
         self._queue: "queue.Queue[str | None]" = queue.Queue()
-        self._threads: list[threading.Thread] = []
         self._busy = 0
         self._busy_lock = threading.Lock()
-        self._started = False
         self._executions: set[ExecutionToken] = set()
         self._executions_lock = threading.Lock()
+        # Lifecycle state is shared between start()/shutdown() callers and
+        # the watchdog thread (which spawns replacement workers): one lock
+        # guards all of it so stall counts and thread bookkeeping cannot
+        # tear or lose updates.
+        self._lifecycle_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._started = False
         self._worker_serial = 0
         self.stalls = 0
         self.watchdog = (
@@ -211,9 +217,10 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     def start(self) -> "WorkerPool":
         """Start the worker threads and re-enqueue recovered jobs."""
-        if self._started:
-            return self
-        self._started = True
+        with self._lifecycle_lock:
+            if self._started:
+                return self
+            self._started = True
         for job in self.store.recover():
             self._queue.put(job.id)
         for _ in range(self.workers):
@@ -228,28 +235,33 @@ class WorkerPool:
         return self
 
     def _spawn_worker(self) -> None:
-        self._worker_serial += 1
+        with self._lifecycle_lock:
+            self._worker_serial += 1
+            serial = self._worker_serial
         thread = threading.Thread(
             target=self._worker,
-            name=f"repro-worker-{self._worker_serial}",
+            name=f"repro-worker-{serial}",
             daemon=True,
         )
         thread.start()
-        self._threads.append(thread)
+        with self._lifecycle_lock:
+            self._threads.append(thread)
 
     def shutdown(self, wait: bool = True, timeout: float | None = 10.0) -> None:
         """Stop the workers (running jobs finish their current attempt)."""
-        if not self._started:
-            return
+        with self._lifecycle_lock:
+            if not self._started:
+                return
+            self._started = False
+            threads = list(self._threads)
+            self._threads.clear()
         if self.watchdog is not None:
             self.watchdog.stop()
-        for _ in self._threads:
+        for _ in threads:
             self._queue.put(_STOP)
         if wait:
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(timeout=timeout)
-        self._threads.clear()
-        self._started = False
 
     def enqueue(self, job: Job) -> None:
         """Feed a freshly queued job to the workers."""
@@ -264,11 +276,13 @@ class WorkerPool:
     def stats(self) -> dict[str, Any]:
         """Pool utilization plus the shared ROM cache statistics."""
         busy = self.busy_workers
+        with self._lifecycle_lock:
+            stalls = self.stalls
         document = {
             "workers": self.workers,
             "busy_workers": busy,
             "utilization": busy / self.workers if self.workers else 0.0,
-            "stalls": self.stalls,
+            "stalls": stalls,
             "rom_cache": self.rom_cache.stats(),
         }
         if self.watchdog is not None:
@@ -306,14 +320,16 @@ class WorkerPool:
             return False
         token.abandoned.set()
         self._unregister(token)
-        self.stalls += 1
+        with self._lifecycle_lock:
+            self.stalls += 1
+            started = self._started
         job = token.job
         _logger.warning(
             "watchdog: job %s stalled (heartbeat %.1fs old); reaping worker",
             job.id,
             age,
         )
-        if self._started:
+        if started:
             self._spawn_worker()
         try:
             current = self.store.get(job.id)
@@ -421,6 +437,7 @@ class WorkerPool:
                     directive = faults.fault_point("service.pool.worker")
                     token.check_abandoned()
                     if directive == "crash":
+                        # repro-lint: disable=REP004 -- injected fault: deliberately foreign to the taxonomy so it rides the transient-retry path
                         raise faults.SimulatedCrashError(
                             f"injected worker crash while running job {job.id}"
                         )

@@ -157,6 +157,9 @@ class WorkerWatchdog:
             if poll_seconds is not None
             else max(0.05, self.stall_timeout_seconds / 4.0)
         )
+        # The reap counter is bumped by the watchdog thread and read by
+        # HTTP stats handlers: it needs its own lock.
+        self._stats_lock = threading.Lock()
         self.reaped = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -200,14 +203,17 @@ class WorkerWatchdog:
                 continue
             if self.pool.reap_execution(token, age):
                 reaped += 1
-        self.reaped += reaped
+        with self._stats_lock:
+            self.reaped += reaped
         return reaped
 
     def stats(self) -> dict[str, Any]:
+        with self._stats_lock:
+            reaped = self.reaped
         return {
             "stall_timeout_seconds": self.stall_timeout_seconds,
             "poll_seconds": self.poll_seconds,
-            "reaped": self.reaped,
+            "reaped": reaped,
         }
 
 

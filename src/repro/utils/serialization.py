@@ -171,6 +171,7 @@ def _arrays_digest(
 # ---------------------------------------------------------------------- #
 # quarantine
 # ---------------------------------------------------------------------- #
+# repro-lint: disable=REP002 -- quarantine IS the failure handler: injecting a fault into it would only re-enter itself; its os.replace moves an already-corrupt file aside
 def quarantine_file(path: str | Path, reason: str) -> Path | None:
     """Move a corrupt artifact into a ``.quarantine/`` sidecar directory.
 

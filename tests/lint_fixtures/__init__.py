@@ -1,0 +1,12 @@
+"""Fixture modules for the ``repro.lint`` rule tests.
+
+Each ``repNNN_bad.py`` module contains known violations of one rule
+(positive cases) and each ``repNNN_good.py`` module contains near-miss
+code that must stay clean (negative cases).  The tests copy these files
+into a temporary project tree laid out like the real repository and run
+the analyzer over it — the fixtures are never imported or executed.
+"""
+
+from pathlib import Path
+
+FIXTURES_DIR = Path(__file__).resolve().parent

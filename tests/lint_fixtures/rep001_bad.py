@@ -1,0 +1,36 @@
+"""REP001 positive fixture: every non-atomic durable-write shape."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def write_report(path, payload):
+    with open(path, "w") as handle:
+        handle.write(payload)
+
+
+def append_log(path, line):
+    with Path(path).open("a") as handle:
+        handle.write(line)
+
+
+def dump_config(handle, document):
+    json.dump(document, handle)
+
+
+def save_arrays(path, arrays):
+    np.savez(path, **arrays)
+
+
+def save_table(table):
+    np.savetxt("table.txt", table)
+
+
+def note(path, text):
+    Path(path).write_text(text)
+
+
+def blob(path, data):
+    Path(path).write_bytes(data)

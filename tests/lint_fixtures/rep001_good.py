@@ -1,0 +1,40 @@
+"""REP001 negative fixture: reads, atomic helpers, streams, suppressions."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.serialization import atomic_write_bytes, dump_json
+
+
+def read_config(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def read_text(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def write_config(path, document):
+    dump_json(Path(path), document)
+
+
+def write_blob(path, data):
+    atomic_write_bytes(path, data, fault_site="fixture.write")
+
+
+def encode(document):
+    return json.dumps(document)
+
+
+def stream_into_open_handle(handle, table):
+    np.savetxt(handle, table)
+
+
+def stream_export(path, text):
+    # repro-lint: disable=REP001 -- export stream fixture: regenerable output, streamed to bound memory
+    with open(path, "w") as handle:
+        handle.write(text)

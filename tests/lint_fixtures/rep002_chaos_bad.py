@@ -1,0 +1,6 @@
+"""REP002 positive fixture: a chaos glob that matches no registered site."""
+
+SCENARIOS = {
+    "covered": [{"site": "serialization.dump_json", "kind": "enospc", "nth": 1}],
+    "typo": [{"site": "serialisation.dump_jsonn", "kind": "crash", "nth": 1}],
+}

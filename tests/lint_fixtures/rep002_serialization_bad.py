@@ -1,0 +1,7 @@
+"""REP002 positive fixture: a durable-write commit with no fault site."""
+
+import os
+
+
+def commit(temporary, final):
+    os.replace(temporary, final)

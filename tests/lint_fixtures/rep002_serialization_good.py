@@ -1,0 +1,11 @@
+"""REP002 negative fixture: the commit step exposes a fault site."""
+
+import os
+
+from repro import faults
+
+
+def commit(temporary, final, *, fault_site: str = "serialization.dump_json"):
+    if fault_site:
+        faults.fault_point(fault_site)
+    os.replace(temporary, final)

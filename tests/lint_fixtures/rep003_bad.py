@@ -1,0 +1,10 @@
+"""REP003 positive fixture: raw numpy mixed into a bm-using kernel."""
+
+import numpy as np
+
+from repro.backend import backend_manager as bm
+
+
+def kernel(values):
+    device = bm.asarray(values, dtype=bm.ftype)
+    return bm.asnumpy(device) * np.sqrt(2.0)

@@ -1,0 +1,16 @@
+"""REP003 negative fixture: seams annotated, host helpers left alone."""
+
+import numpy as np
+
+from repro.backend import backend_manager as bm
+
+
+def kernel(points):
+    # backend-seam: host-side points enter the device here
+    host = np.asarray(points, dtype=float)
+    device = bm.asarray(host, dtype=bm.ftype)
+    return bm.asnumpy(device)
+
+
+def host_helper(values: np.ndarray) -> np.ndarray:
+    return np.asarray(values, dtype=float)

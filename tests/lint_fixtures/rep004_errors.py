@@ -1,0 +1,20 @@
+"""REP004 fixture taxonomy: one registered class, one orphan."""
+
+
+class ReproError(Exception):
+    code = "internal"
+    http_status = 500
+
+
+class GoodError(ReproError):
+    code = "good"
+    http_status = 400
+
+
+class OrphanError(ReproError):
+    code = "orphan"
+    http_status = 400
+
+
+_ERROR_CLASSES = (GoodError,)
+ERROR_CLASSES_BY_CODE = {cls.code: cls for cls in _ERROR_CLASSES}

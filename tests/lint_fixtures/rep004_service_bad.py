@@ -1,0 +1,7 @@
+"""REP004 positive fixture: a bare raise on a service-reachable path."""
+
+
+def handle(flag):
+    if flag:
+        raise RuntimeError("boom")
+    return {"status": "ok"}

@@ -1,0 +1,13 @@
+"""REP004 negative fixture: taxonomy raises, re-raises, argparse errors."""
+
+from argparse import ArgumentTypeError
+
+from repro.errors import GoodError
+
+
+def handle(flag, error):
+    if flag == "taxonomy":
+        raise GoodError("bad input")
+    if flag == "reraise":
+        raise error
+    raise ArgumentTypeError("usage")

@@ -1,0 +1,42 @@
+"""REP005 positive fixture: guarded state touched outside its lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.items = []
+        self.misses = 0
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+            self.items.append(1)
+
+    def snapshot(self):
+        return self.hits  # guarded read outside the lock
+
+    def drop(self):
+        self.items.clear()  # guarded mutation outside the lock
+
+    def miss(self):
+        self.misses += 1  # unprotected counter in a threaded class
+
+
+class Deadlocker:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.n = 0
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                self.n += 1
+
+    def backward(self):
+        with self._b:
+            with self._a:
+                self.n += 1

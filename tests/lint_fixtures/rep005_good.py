@@ -1,0 +1,40 @@
+"""REP005 negative fixture: consistent locking, consistent order."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.items = []
+        self.label = "counter"
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+            self.items.append(1)
+
+    def snapshot(self):
+        with self._lock:
+            return {"hits": self.hits, "items": len(self.items)}
+
+    def name(self):
+        return self.label  # unguarded attribute: no lock required
+
+
+class Orderly:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.n = 0
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                self.n += 1
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                self.n -= 1

@@ -1,0 +1,3 @@
+"""REP006 positive fixture: a bumped version with no migration branch."""
+
+SCHEMA_VERSION = 2

@@ -1,0 +1,4 @@
+"""REP006 negative fixture: migration branch present (test added by harness)."""
+
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)

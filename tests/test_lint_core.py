@@ -1,0 +1,286 @@
+"""Framework-level tests for repro.lint: suppressions, baseline, driver."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    Finding,
+    LintUsageError,
+    META_RULE_ID,
+    Project,
+    rules_by_id,
+    run_lint,
+)
+from repro.lint.core import Suppressions
+
+
+def _write_module(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+#: One REP001 violation at a known line, used throughout.
+_VIOLATION = (
+    '"""Module with one durable-write violation."""\n'
+    "\n"
+    "\n"
+    "def save(path, text):\n"
+    '    with open(path, "w") as handle:\n'
+    "        handle.write(text)\n"
+)
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_its_own_line(self):
+        lines = [
+            "def f(path):",
+            '    open(path, "w")  # repro-lint: disable=REP001 -- test stream',
+        ]
+        sup = Suppressions("m.py", lines)
+        finding = Finding("REP001", "error", "m.py", 2, "x")
+        entry = sup.match(finding)
+        assert entry is not None
+        assert entry.justification == "test stream"
+
+    def test_standalone_comment_suppresses_next_code_line(self):
+        lines = [
+            "# repro-lint: disable=REP001 -- covered elsewhere",
+            "",
+            "# an unrelated comment",
+            'open(path, "w")',
+        ]
+        sup = Suppressions("m.py", lines)
+        assert sup.match(Finding("REP001", "error", "m.py", 4, "x")) is not None
+        # The comment lines themselves are not suppression targets.
+        assert sup.match(Finding("REP001", "error", "m.py", 1, "x")) is None
+
+    def test_multiple_rules_in_one_comment(self):
+        lines = ["x = 1  # repro-lint: disable=REP001, REP005 -- shared fixture"]
+        sup = Suppressions("m.py", lines)
+        assert sup.match(Finding("REP001", "error", "m.py", 1, "x")) is not None
+        assert sup.match(Finding("REP005", "error", "m.py", 1, "x")) is not None
+        assert sup.match(Finding("REP002", "error", "m.py", 1, "x")) is None
+
+    def test_missing_justification_is_inert_and_reported(self):
+        lines = ['open(path, "w")  # repro-lint: disable=REP001']
+        sup = Suppressions("m.py", lines)
+        assert sup.match(Finding("REP001", "error", "m.py", 1, "x")) is None
+        assert len(sup.meta_findings) == 1
+        meta = sup.meta_findings[0]
+        assert meta.rule == META_RULE_ID
+        assert "without justification" in meta.message
+
+    def test_unjustified_suppression_surfaces_in_run_lint(self, tmp_path):
+        _write_module(
+            tmp_path,
+            "src/repro/util.py",
+            _VIOLATION.replace(
+                'open(path, "w")',
+                'open(path, "w")',  # keep the violation
+            ).replace(
+                "        handle.write(text)\n",
+                "        handle.write(text)\n"
+                "    # repro-lint: disable=REP001\n"
+                '    open(path, "a").close()\n',
+            ),
+        )
+        report = run_lint(tmp_path, rule_ids=["REP001"])
+        rules = sorted(f.rule for f in report.findings)
+        # Both REP001 violations survive (suppression inert) plus the REP000.
+        assert rules == [META_RULE_ID, "REP001", "REP001"]
+
+    def test_meta_findings_cannot_be_suppressed(self, tmp_path):
+        _write_module(
+            tmp_path,
+            "src/repro/util.py",
+            "# repro-lint: disable=REP000 -- trying to silence the meta rule\n"
+            "# repro-lint: disable=REP001\n"
+            "x = 1\n",
+        )
+        report = run_lint(tmp_path, rule_ids=["REP001"])
+        assert [f.rule for f in report.findings] == [META_RULE_ID]
+
+
+class TestBaseline:
+    def _finding_report(self, tmp_path, baseline=None):
+        _write_module(tmp_path, "src/repro/util.py", _VIOLATION)
+        return run_lint(tmp_path, rule_ids=["REP001"], baseline=baseline)
+
+    def test_baseline_swallows_matching_finding(self, tmp_path):
+        report = self._finding_report(tmp_path)
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+
+        baseline_doc = {
+            "version": 1,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "justification": "grandfathered pending rewrite",
+                }
+            ],
+        }
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(baseline_doc))
+        baseline = Baseline.load(baseline_path)
+
+        report2 = self._finding_report(tmp_path, baseline=baseline)
+        assert report2.findings == []
+        assert len(report2.baselined) == 1
+        assert report2.baselined[0][1] == "grandfathered pending rewrite"
+        assert report2.stale_baseline == []
+        assert report2.ok
+
+    def test_baseline_match_is_line_independent(self, tmp_path):
+        report = self._finding_report(tmp_path)
+        finding = report.findings[0]
+        assert finding.key() == f"{finding.rule}:{finding.path}:{finding.message}"
+        shifted = Finding(
+            finding.rule,
+            finding.severity,
+            finding.path,
+            finding.line + 40,
+            finding.message,
+        )
+        assert shifted.key() == finding.key()
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "rule": "REP001",
+                            "path": "src/repro/gone.py",
+                            "message": "no longer exists",
+                            "justification": "was real once",
+                        }
+                    ],
+                }
+            )
+        )
+        baseline = Baseline.load(baseline_path)
+        report = self._finding_report(tmp_path, baseline=baseline)
+        assert len(report.stale_baseline) == 1
+        assert report.stale_baseline[0].path == "src/repro/gone.py"
+        assert "stale baseline entries" in report.render_text()
+
+    def test_entry_without_justification_is_rejected(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {"rule": "REP001", "path": "a.py", "message": "m"}
+                    ],
+                }
+            )
+        )
+        with pytest.raises(LintUsageError, match="no justification"):
+            Baseline.load(baseline_path)
+
+    def test_malformed_baseline_is_rejected(self, tmp_path):
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{not json")
+        with pytest.raises(LintUsageError, match="not valid JSON"):
+            Baseline.load(bad_json)
+
+        wrong_version = tmp_path / "wrong.json"
+        wrong_version.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(LintUsageError, match="version"):
+            Baseline.load(wrong_version)
+
+        missing = tmp_path / "missing.json"
+        with pytest.raises(LintUsageError, match="cannot read"):
+            Baseline.load(missing)
+
+
+class TestDriver:
+    def test_unknown_rule_is_a_usage_error(self):
+        with pytest.raises(LintUsageError, match="unknown rule 'NOPE'"):
+            rules_by_id(["NOPE"])
+
+    def test_rule_selection_is_case_insensitive(self):
+        (rule,) = rules_by_id(["rep001"])
+        assert rule.id == "REP001"
+
+    def test_missing_default_target_is_a_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError, match="does not exist"):
+            run_lint(tmp_path)
+
+    def test_missing_explicit_target_is_a_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError, match="does not exist"):
+            run_lint(tmp_path, paths=[tmp_path / "nowhere"])
+
+    def test_findings_sorted_by_path_line_rule(self, tmp_path):
+        _write_module(
+            tmp_path,
+            "src/repro/b.py",
+            'open("x", "w")\nopen("y", "w")\n',
+        )
+        _write_module(tmp_path, "src/repro/a.py", 'open("z", "w")\n')
+        report = run_lint(tmp_path, rule_ids=["REP001"])
+        locations = [(f.path, f.line) for f in report.findings]
+        assert locations == sorted(locations)
+
+    def test_syntax_error_files_are_skipped(self, tmp_path):
+        _write_module(tmp_path, "src/repro/broken.py", "def broken(:\n")
+        _write_module(tmp_path, "src/repro/fine.py", "x = 1\n")
+        report = run_lint(tmp_path)
+        assert report.files_checked == 1
+
+    def test_pycache_is_skipped(self, tmp_path):
+        _write_module(tmp_path, "src/repro/mod.py", "x = 1\n")
+        _write_module(tmp_path, "src/repro/__pycache__/mod.py", 'open("f", "w")\n')
+        report = run_lint(tmp_path, rule_ids=["REP001"])
+        assert report.findings == []
+        assert report.files_checked == 1
+
+    def test_payload_shape(self, tmp_path):
+        _write_module(tmp_path, "src/repro/util.py", _VIOLATION)
+        report = run_lint(tmp_path, rule_ids=["REP001"])
+        payload = report.to_payload()
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert {r["id"] for r in payload["rules"]} == {"REP001"}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "severity", "path", "line", "message"}
+        assert payload["suppressed"] == []
+        assert payload["baselined"] == []
+        assert payload["stale_baseline"] == []
+
+    def test_render_text_shows_source_line_and_summary(self, tmp_path):
+        _write_module(tmp_path, "src/repro/util.py", _VIOLATION)
+        report = run_lint(tmp_path, rule_ids=["REP001"])
+        text = report.render_text()
+        assert "src/repro/util.py:5: REP001 error:" in text
+        assert '> with open(path, "w") as handle:' in text
+        assert "1 finding(s) (0 suppressed, 0 baselined) across 1 file(s)" in text
+
+
+class TestProject:
+    def test_tests_tree_is_evidence_not_target(self, tmp_path):
+        _write_module(tmp_path, "src/repro/mod.py", "x = 1\n")
+        _write_module(tmp_path, "tests/test_mod.py", 'open("f", "w")\n')
+        project = Project.from_paths(tmp_path, [tmp_path / "src" / "repro"])
+        assert len(project.modules) == 1
+        assert len(project.test_modules) == 1
+        report = run_lint(tmp_path, rule_ids=["REP001"])
+        assert report.findings == []
+
+    def test_module_at_suffix_matching(self, tmp_path):
+        _write_module(tmp_path, "src/repro/fem/element.py", "x = 1\n")
+        project = Project.from_paths(tmp_path, [tmp_path / "src"])
+        assert project.module_at("repro/fem/element.py") is not None
+        assert project.module_at("repro/fem/missing.py") is None

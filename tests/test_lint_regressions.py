@@ -1,0 +1,211 @@
+"""Regression tests for the violations the analyzer surfaced in this tree.
+
+Running ``repro lint`` over the source found real gaps — a spec written with
+a bare ``write_text``, a torn-download window in the service client, and
+shared pool/watchdog/store counters touched outside their locks.  These tests
+pin the fixed behaviour so the analyzer's findings stay fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import SimulationSpec
+from repro.cli import main
+from repro.faults import FaultPlan, FaultRule, SimulatedCrashError, injected_faults
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobStore
+from repro.service.pool import WorkerPool
+from repro.service.watchdog import WorkerWatchdog
+
+FAST = [
+    "--rows",
+    "1",
+    "--resolution",
+    "tiny",
+    "--nodes",
+    "3",
+    "--points-per-block",
+    "5",
+]
+
+
+def _no_tmp_orphans(directory: Path) -> bool:
+    return not list(directory.glob(".tmp-*"))
+
+
+class TestSpecWriteAtomicity:
+    """``repro spec -o`` goes through atomic_write_bytes (site cli.spec.write).
+
+    The atomic helper's contract is "complete old or complete new, never
+    torn": ``crash`` fires *after* the rename (the new document is fully in
+    place), ``enospc`` fires before any byte lands (the old document — or
+    nothing — survives).
+    """
+
+    def test_spec_output_written_and_valid(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        assert main(["spec", *FAST, "-o", str(spec_path)]) == 0
+        SimulationSpec.from_dict(json.loads(spec_path.read_text()))
+        assert _no_tmp_orphans(tmp_path)
+
+    def test_crash_after_rename_leaves_complete_new_spec(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        assert main(["spec", *FAST, "-o", str(spec_path)]) == 0
+
+        plan = FaultPlan(rules=(FaultRule(site="cli.spec.write", kind="crash"),))
+        with injected_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                main(["spec", *FAST, "--rows", "2", "-o", str(spec_path)])
+
+        # Rename-then-crash: the replacement document is complete, not torn.
+        spec = SimulationSpec.from_dict(json.loads(spec_path.read_text()))
+        assert spec.geometry.rows == 2
+        assert _no_tmp_orphans(tmp_path)
+
+    def test_enospc_leaves_previous_spec_intact(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        assert main(["spec", *FAST, "-o", str(spec_path)]) == 0
+        before = spec_path.read_text()
+
+        plan = FaultPlan(rules=(FaultRule(site="cli.spec.write", kind="enospc"),))
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                main(["spec", *FAST, "--rows", "2", "-o", str(spec_path)])
+
+        assert spec_path.read_text() == before
+        assert _no_tmp_orphans(tmp_path)
+
+
+class TestClientFetchFieldsAtomicity:
+    """fetch_fields lands the bundle atomically (site client.fetch_fields)."""
+
+    def _client_returning(self, payload: bytes) -> ServiceClient:
+        client = ServiceClient("http://127.0.0.1:1")
+        client._request = lambda *args, **kwargs: payload  # type: ignore[method-assign]
+        return client
+
+    def test_download_lands_complete(self, tmp_path):
+        client = self._client_returning(b"npz-bytes")
+        destination = tmp_path / "out" / "fields.npz"
+        returned = client.fetch_fields("job-1", destination)
+        assert returned == destination
+        assert destination.read_bytes() == b"npz-bytes"
+        assert _no_tmp_orphans(destination.parent)
+
+    def test_crash_lands_complete_new_bundle_never_torn(self, tmp_path):
+        destination = tmp_path / "fields.npz"
+        destination.write_bytes(b"previous-good-bundle")
+
+        client = self._client_returning(b"new-bundle")
+        plan = FaultPlan(rules=(FaultRule(site="client.fetch_fields", kind="crash"),))
+        with injected_faults(plan):
+            with pytest.raises(SimulatedCrashError):
+                client.fetch_fields("job-1", destination)
+
+        # Rename-then-crash: the full replacement landed, nothing is torn.
+        assert destination.read_bytes() == b"new-bundle"
+        assert _no_tmp_orphans(tmp_path)
+
+    def test_enospc_keeps_previous_bundle(self, tmp_path):
+        destination = tmp_path / "fields.npz"
+        destination.write_bytes(b"previous-good-bundle")
+
+        client = self._client_returning(b"new-bundle")
+        plan = FaultPlan(rules=(FaultRule(site="client.fetch_fields", kind="enospc"),))
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                client.fetch_fields("job-1", destination)
+
+        assert destination.read_bytes() == b"previous-good-bundle"
+        assert _no_tmp_orphans(tmp_path)
+
+
+class TestPoolLifecycleLocking:
+    """Worker bookkeeping survives concurrent spawns and reap counting."""
+
+    def _pool(self, tmp_path) -> WorkerPool:
+        return WorkerPool(
+            JobStore(tmp_path), workers=1, run_fn=lambda spec, **kwargs: None
+        )
+
+    def test_concurrent_spawns_get_unique_names(self, tmp_path):
+        pool = self._pool(tmp_path)
+        with pool._lifecycle_lock:
+            pool._started = True
+
+        spawners = [threading.Thread(target=pool._spawn_worker) for _ in range(12)]
+        for thread in spawners:
+            thread.start()
+        for thread in spawners:
+            thread.join()
+
+        names = [thread.name for thread in pool._threads]
+        assert len(names) == 12
+        assert len(set(names)) == 12, f"duplicate worker names: {sorted(names)}"
+        assert pool._worker_serial == 12
+        pool.shutdown()
+
+    def test_concurrent_stall_counting_loses_no_updates(self, tmp_path):
+        pool = self._pool(tmp_path)
+
+        def bump():
+            for _ in range(500):
+                with pool._lifecycle_lock:
+                    pool.stalls += 1
+
+        bumpers = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in bumpers:
+            thread.start()
+        for thread in bumpers:
+            thread.join()
+        assert pool.stats()["stalls"] == 8 * 500
+
+
+class TestWatchdogReapCounter:
+    """watchdog.reaped is bumped under its lock; concurrent scans add up."""
+
+    class _StalledToken:
+        def __init__(self):
+            self.job = None
+
+        def heartbeat_age(self):
+            return 1e9
+
+    class _FakePool:
+        def __init__(self, per_scan):
+            self._per_scan = per_scan
+
+        def active_executions(self):
+            return [TestWatchdogReapCounter._StalledToken() for _ in range(self._per_scan)]
+
+        def reap_execution(self, token, age):
+            return True
+
+    def test_concurrent_scans_count_every_reap(self):
+        watchdog = WorkerWatchdog(self._FakePool(per_scan=5), stall_timeout_seconds=0.01)
+        scanners = [
+            threading.Thread(target=lambda: [watchdog.scan_once() for _ in range(20)])
+            for _ in range(8)
+        ]
+        for thread in scanners:
+            thread.start()
+        for thread in scanners:
+            thread.join()
+        assert watchdog.stats()["reaped"] == 8 * 20 * 5
+
+
+class TestJobStoreQuarantineCounter:
+    def test_corrupt_record_counted_and_skipped(self, tmp_path):
+        store = JobStore(tmp_path)
+        jobs_dir = store.directory / "jobs"
+        jobs_dir.mkdir(parents=True, exist_ok=True)
+        (jobs_dir / "corrupt.json").write_text("{definitely not json")
+
+        reloaded = JobStore(tmp_path)
+        assert reloaded.quarantined == 1
+        assert all(job.id != "corrupt" for job in reloaded.list())
